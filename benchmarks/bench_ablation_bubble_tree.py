@@ -1,0 +1,41 @@
+"""Ablation: bubble-tree construction, on-the-fly vs post-hoc.
+
+The paper builds the bubble tree during TMFG construction in O(n) extra
+work; the original DBHT enumerates all triangles of the finished graph and
+tests each for being separating (quadratic work).  Both yield the same
+bubbles; this benchmark measures the gap.
+"""
+
+import pytest
+
+from repro.baselines.classic_dbht import build_bubble_tree_from_graph
+from repro.core.tmfg import construct_tmfg
+from repro.datasets.similarity import similarity_and_dissimilarity
+from repro.datasets.ucr_like import load_ucr_like
+
+
+@pytest.fixture(scope="module")
+def similarity():
+    dataset = load_ucr_like(11, scale=0.08, noise=1.2, seed=3)
+    matrix, _ = similarity_and_dissimilarity(dataset.data)
+    return matrix
+
+
+def test_ablation_bubble_tree_on_the_fly(benchmark, similarity):
+    result = benchmark.pedantic(
+        construct_tmfg,
+        args=(similarity,),
+        kwargs={"prefix": 1, "build_bubble_tree": True},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.bubble_tree.num_bubbles == similarity.shape[0] - 3
+
+
+def test_ablation_bubble_tree_post_hoc(benchmark, similarity):
+    tmfg = construct_tmfg(similarity, prefix=1, build_bubble_tree=True)
+    generic = benchmark.pedantic(
+        build_bubble_tree_from_graph, args=(tmfg.graph,), rounds=3, iterations=1
+    )
+    assert generic.num_bubbles == tmfg.bubble_tree.num_bubbles
+    assert {frozenset(b.vertices) for b in tmfg.bubble_tree.bubbles} == set(generic.bubbles)

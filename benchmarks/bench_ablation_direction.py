@@ -1,0 +1,36 @@
+"""Ablation: bubble-tree edge direction, linear-work vs BFS-per-triangle.
+
+The paper's Algorithm 3 computes all edge directions in Theta(n) work using
+the bubble-tree invariant, replacing the original Theta(n^2) BFS-based
+computation.  Both produce identical directions; this benchmark measures the
+gap.
+"""
+
+import pytest
+
+from repro.core.direction import compute_directions, compute_directions_bfs
+from repro.core.tmfg import construct_tmfg
+from repro.datasets.similarity import similarity_and_dissimilarity
+from repro.datasets.ucr_like import load_ucr_like
+
+
+@pytest.fixture(scope="module")
+def tmfg():
+    dataset = load_ucr_like(8, scale=0.035, noise=1.2, seed=2)
+    similarity, _ = similarity_and_dissimilarity(dataset.data)
+    return construct_tmfg(similarity, prefix=10)
+
+
+def test_ablation_direction_linear(benchmark, tmfg):
+    fast = benchmark.pedantic(
+        compute_directions, args=(tmfg.bubble_tree, tmfg.graph), rounds=3, iterations=1
+    )
+    assert len(fast.towards_child) == tmfg.bubble_tree.num_bubbles - 1
+
+
+def test_ablation_direction_bfs(benchmark, tmfg):
+    slow = benchmark.pedantic(
+        compute_directions_bfs, args=(tmfg.bubble_tree, tmfg.graph), rounds=3, iterations=1
+    )
+    fast = compute_directions(tmfg.bubble_tree, tmfg.graph)
+    assert slow.towards_child == fast.towards_child

@@ -1,0 +1,11 @@
+"""Appendix example (Figs. 12-13): prefix 3 recovers the ground truth that
+prefix 1 misses on the 6-point correlation matrix."""
+
+from repro.experiments.figures import appendix_prefix_example
+
+
+def test_appendix_prefix_example(benchmark, emit):
+    result = benchmark.pedantic(appendix_prefix_example, rounds=1, iterations=1)
+    emit("appendix_prefix_example", result)
+    assert result["ari_by_prefix"][3] == 1.0
+    assert result["ari_by_prefix"][1] < 1.0

@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the individual pipeline components.
+
+Unlike the figure reproductions (which run once), these use pytest-benchmark
+with several rounds so the relative cost of the pipeline stages (TMFG
+construction at different prefixes, APSP, direction, assignment, hierarchy)
+can be tracked across code changes.
+"""
+
+import pytest
+
+from repro.baselines.hac import linkage
+from repro.core.assignment import assign_vertices
+from repro.core.dbht import dbht
+from repro.core.direction import compute_directions
+from repro.core.tmfg import construct_tmfg
+from repro.datasets.similarity import similarity_and_dissimilarity
+from repro.datasets.ucr_like import load_ucr_like
+from repro.graph.shortest_paths import all_pairs_shortest_paths
+from repro.graph.weighted_graph import WeightedGraph
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    dataset = load_ucr_like(6, scale=0.03, noise=1.2, seed=4)
+    return similarity_and_dissimilarity(dataset.data)
+
+
+@pytest.fixture(scope="module")
+def prepared(matrices):
+    similarity, dissimilarity = matrices
+    tmfg = construct_tmfg(similarity, prefix=10)
+    distance_graph = WeightedGraph(tmfg.graph.num_vertices)
+    for u, v, _ in tmfg.graph.edges():
+        distance_graph.add_edge(u, v, float(dissimilarity[u, v]))
+    shortest_paths = all_pairs_shortest_paths(distance_graph)
+    directions = compute_directions(tmfg.bubble_tree, tmfg.graph)
+    return tmfg, distance_graph, shortest_paths, directions
+
+
+@pytest.mark.parametrize("prefix", [1, 10, 50])
+def test_bench_tmfg_construction(benchmark, matrices, prefix):
+    similarity, _ = matrices
+    result = benchmark(construct_tmfg, similarity, prefix=prefix, build_bubble_tree=True)
+    assert result.graph.num_edges == 3 * similarity.shape[0] - 6
+
+
+def test_bench_apsp(benchmark, prepared):
+    _, distance_graph, _, _ = prepared
+    distances = benchmark(all_pairs_shortest_paths, distance_graph)
+    assert distances.shape[0] == distance_graph.num_vertices
+
+
+def test_bench_direction(benchmark, prepared):
+    tmfg, _, _, _ = prepared
+    result = benchmark(compute_directions, tmfg.bubble_tree, tmfg.graph)
+    assert result.towards_child
+
+
+def test_bench_assignment(benchmark, matrices, prepared):
+    similarity, _ = matrices
+    tmfg, _, shortest_paths, directions = prepared
+    result = benchmark(
+        assign_vertices, tmfg.bubble_tree, directions, similarity, shortest_paths
+    )
+    assert len(result.group) == similarity.shape[0]
+
+
+def test_bench_full_dbht(benchmark, matrices):
+    similarity, dissimilarity = matrices
+    tmfg = construct_tmfg(similarity, prefix=10)
+    result = benchmark.pedantic(
+        dbht, args=(tmfg, similarity, dissimilarity), rounds=2, iterations=1
+    )
+    assert result.dendrogram.is_complete
+
+
+def test_bench_complete_linkage(benchmark, matrices):
+    _, dissimilarity = matrices
+    merges = benchmark(linkage, dissimilarity, "complete")
+    assert merges.shape[0] == dissimilarity.shape[0] - 1

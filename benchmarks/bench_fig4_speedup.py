@@ -1,0 +1,25 @@
+"""Figure 4: self-relative speedup vs thread count per prefix size.
+
+Paper shape: larger prefix sizes scale better (up to ~37x on 48 cores with
+hyper-threading for prefix 200 on Crop); prefix 1 scales poorly because only
+one vertex is inserted per round.  The reproduction predicts speedups from
+the measured work/span of each phase (see DESIGN.md).
+"""
+
+from repro.experiments.figures import figure4_speedup
+
+
+def test_figure4_speedup(benchmark, config, emit):
+    result = benchmark.pedantic(
+        figure4_speedup, kwargs={"config": config, "dataset_id": 17}, rounds=1, iterations=1
+    )
+    emit("figure4_speedup", result)
+    curves = result["curves"]
+    smallest_prefix = min(curves)
+    largest_prefix = max(curves)
+    # The paper's shape: larger prefixes scale substantially better than the
+    # exact TMFG (prefix 1), and every curve starts at 1 on a single thread.
+    assert curves[largest_prefix][-1] >= 1.5 * curves[smallest_prefix][-1]
+    for curve in curves.values():
+        assert abs(curve[0] - 1.0) < 1e-6
+        assert curve[-1] >= 1.0

@@ -1,0 +1,25 @@
+"""Figure 5: runtime breakdown across algorithm steps (ECG5000 stand-in).
+
+Paper shape: with a small prefix, TMFG construction dominates; with a larger
+prefix its share shrinks and APSP becomes the bottleneck; the bubble-tree
+step is negligible throughout.
+"""
+
+from repro.experiments.figures import figure5_breakdown
+
+
+def test_figure5_breakdown(benchmark, config, emit):
+    result = benchmark.pedantic(
+        figure5_breakdown, kwargs={"config": config, "dataset_id": 6}, rounds=1, iterations=1
+    )
+    emit("figure5_breakdown", result)
+    shares = {}
+    for prefix, step, seconds, fraction in result["rows"]:
+        shares[(prefix, step)] = fraction
+    smallest = min(config.prefix_sizes)
+    largest = max(config.prefix_sizes)
+    # The TMFG share shrinks as the prefix grows.
+    assert shares[(largest, "tmfg")] <= shares[(smallest, "tmfg")]
+    # The bubble-tree step is a small fraction of the total for every prefix.
+    for prefix in config.prefix_sizes:
+        assert shares[(prefix, "bubble-tree")] < 0.25

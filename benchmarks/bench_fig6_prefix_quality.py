@@ -1,0 +1,27 @@
+"""Figure 6: clustering quality (ARI) of PAR-TDBHT for every prefix size.
+
+Paper shape: quality with prefix > 1 is usually close to the exact TMFG,
+with larger degradation on the smaller data sets where the prefix is a large
+fraction of the graph (a trend that is more pronounced at this reproduction's
+reduced data scale).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure6_prefix_quality
+
+
+def test_figure6_prefix_quality(benchmark, config, emit):
+    result = benchmark.pedantic(
+        figure6_prefix_quality, args=(config,), rounds=1, iterations=1
+    )
+    emit("figure6_prefix_quality", result)
+    rows = result["rows"]
+    assert len(rows) == len(config.dataset_ids) * len(config.prefix_sizes)
+    # Averaged over data sets, the exact TMFG (prefix 1) should be at least
+    # as good as the most aggressive prefix.
+    by_prefix = {}
+    for _, prefix, ari in rows:
+        by_prefix.setdefault(prefix, []).append(ari)
+    mean_ari = {prefix: float(np.mean(values)) for prefix, values in by_prefix.items()}
+    assert mean_ari[min(mean_ari)] >= mean_ari[max(mean_ari)] - 0.05

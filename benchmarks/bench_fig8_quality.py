@@ -1,0 +1,23 @@
+"""Figure 8: clustering quality (ARI) of every method on every data set.
+
+Paper shape: PAR-TDBHT variants usually beat COMP and AVG, are competitive
+with K-MEANS, and K-MEANS-S (with a well-chosen neighbour count) is the
+strongest baseline on most data sets.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure8_quality
+
+
+def test_figure8_quality(benchmark, config, emit):
+    result = benchmark.pedantic(figure8_quality, args=(config,), rounds=1, iterations=1)
+    emit("figure8_quality", result)
+    by_method = {}
+    for _, method, ari in result["rows"]:
+        by_method.setdefault(method, []).append(ari)
+    mean_ari = {method: float(np.mean(values)) for method, values in by_method.items()}
+    # The paper's headline quality claim: exact TMFG + DBHT beats complete
+    # and average linkage on average across the data sets.
+    assert mean_ari["PAR-TDBHT-1"] > mean_ari["COMP"] - 0.02
+    assert mean_ari["PAR-TDBHT-1"] > mean_ari["AVG"] - 0.02

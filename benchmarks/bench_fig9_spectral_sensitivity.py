@@ -1,0 +1,25 @@
+"""Figure 9: K-MEANS-S sensitivity to the number of nearest neighbours.
+
+Paper shape: the quality of spectral k-means varies widely (and oscillates)
+with the neighbour count beta, and the best beta differs per data set —
+unlike DBHT, which has no such parameter.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure9_spectral_sensitivity
+
+
+def test_figure9_spectral_sensitivity(benchmark, config, emit):
+    result = benchmark.pedantic(
+        figure9_spectral_sensitivity, args=(config,), rounds=1, iterations=1
+    )
+    emit("figure9_spectral_sensitivity", result)
+    by_dataset = {}
+    for dataset_id, beta, ari in result["rows"]:
+        by_dataset.setdefault(dataset_id, []).append(ari)
+    # On a reasonable fraction of the data sets the choice of beta changes
+    # the ARI noticeably (the paper's sensitivity claim).
+    spreads = [max(values) - min(values) for values in by_dataset.values() if len(values) > 1]
+    assert spreads, "no data set had more than one beta"
+    assert float(np.mean(spreads)) >= 0.01

@@ -1,0 +1,19 @@
+"""Section VII-A: runtime scaling with data size.
+
+Paper shape: PAR-TDBHT runtime scales roughly as n^2.2 sequentially; the
+reproduction fits the exponent over a sweep of synthetic data-set sizes.
+"""
+
+from repro.experiments.figures import scaling_with_data_size
+
+
+def test_scaling_with_data_size(benchmark, config, emit):
+    result = benchmark.pedantic(
+        scaling_with_data_size,
+        kwargs={"config": config, "sizes": (80, 140, 220, 340), "prefix": 10},
+        rounds=1,
+        iterations=1,
+    )
+    emit("scaling_with_data_size", result)
+    # Super-linear but clearly polynomial scaling (the paper reports ~n^2.2).
+    assert 1.2 <= result["exponent"] <= 3.2

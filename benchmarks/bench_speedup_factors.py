@@ -1,0 +1,19 @@
+"""Section VII-A: speedup of PAR-TDBHT over the sequential baselines.
+
+Paper shape: PAR-TDBHT is orders of magnitude faster than PMFG-DBHT and
+much faster than SEQ-TDBHT (the unoptimised original pipeline); absolute
+factors differ because the baselines here are Python re-implementations
+rather than the authors' MATLAB code.
+"""
+
+from repro.experiments.figures import speedup_factors
+
+
+def test_speedup_factors(benchmark, config, emit):
+    result = benchmark.pedantic(speedup_factors, args=(config,), rounds=1, iterations=1)
+    emit("speedup_factors", result)
+    for dataset_id, seq_vs_par1, seq_vs_par10, pmfg_vs_par1, pmfg_vs_par10 in result["rows"]:
+        # The sequential/original pipelines are slower than the batched one.
+        assert pmfg_vs_par1 > 1.0, dataset_id
+        assert pmfg_vs_par10 > 1.0, dataset_id
+        assert seq_vs_par10 > 0.5, dataset_id

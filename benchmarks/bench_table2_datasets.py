@@ -1,0 +1,9 @@
+"""Table II: data-set registry and generated stand-in sizes."""
+
+from repro.experiments.figures import table2_datasets
+
+
+def test_table2_datasets(benchmark, config, emit):
+    result = benchmark.pedantic(table2_datasets, args=(config,), rounds=1, iterations=1)
+    emit("table2_datasets", result)
+    assert len(result["rows"]) == len(config.dataset_ids)

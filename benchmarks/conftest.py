@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark reproduces one table or figure of the paper: it runs the
+corresponding entry point from :mod:`repro.experiments.figures` exactly once
+(via ``benchmark.pedantic``) so that ``pytest benchmarks/ --benchmark-only``
+reports how long each reproduction takes, and it writes the produced
+rows/series both to stdout and to ``benchmarks/results/<name>.txt`` so the
+data behind EXPERIMENTS.md can be regenerated.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.reporting import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Experiment configuration shared by all figure benchmarks.
+
+    Set ``REPRO_BENCH_SCALE`` to scale the synthetic data sets up or down
+    (e.g. ``REPRO_BENCH_SCALE=0.1`` for a larger, slower, more faithful run).
+    """
+    base = default_config()
+    scale = os.environ.get("REPRO_BENCH_SCALE")
+    if scale:
+        base = ExperimentConfig(scale=float(scale))
+    return base
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a figure reproduction's rows to stdout and to the results dir."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, result: dict) -> str:
+        text = format_table(result["headers"], result["rows"], title=result["title"])
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return text
+
+    return _emit

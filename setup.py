@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs fail) can still do ``pip install -e .`` through the legacy
+setuptools path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — Parallel Filtered Graphs for Hierarchical Clustering.
+
+A from-scratch Python reproduction of "Parallel Filtered Graphs for
+Hierarchical Clustering" (Shangdi Yu and Julian Shun, ICDE 2023).  The
+library builds Triangulated Maximally Filtered Graphs (TMFG) with the
+paper's prefix-batched parallel algorithm, constructs Directed Bubble
+Hierarchy Trees (DBHT) optimised for TMFG inputs, and ships the baselines
+(PMFG, the original DBHT, complete/average-linkage HAC, k-means, spectral
+k-means), synthetic data sets, metrics, and an experiment harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import tmfg_dbht
+    from repro.datasets import make_time_series_dataset, similarity_and_dissimilarity
+    from repro.metrics import adjusted_rand_index
+
+    dataset = make_time_series_dataset(num_objects=200, length=128, num_classes=4, seed=0)
+    similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
+    result = tmfg_dbht(similarity, dissimilarity, prefix=10)
+    labels = result.cut(dataset.num_classes)
+    print(adjusted_rand_index(dataset.labels, labels))
+"""
+
+from repro.core.dbht import DBHTResult, dbht
+from repro.core.pipeline import PipelineResult, tmfg_dbht
+from repro.core.tmfg import TMFGResult, construct_tmfg
+from repro.dendrogram import Dendrogram, cut_height, cut_k
+from repro.metrics import adjusted_mutual_information, adjusted_rand_index
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DBHTResult",
+    "dbht",
+    "PipelineResult",
+    "tmfg_dbht",
+    "TMFGResult",
+    "construct_tmfg",
+    "Dendrogram",
+    "cut_height",
+    "cut_k",
+    "adjusted_mutual_information",
+    "adjusted_rand_index",
+    "__version__",
+]

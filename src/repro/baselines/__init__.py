@@ -1,0 +1,35 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.hac` — hierarchical agglomerative clustering with
+  complete / average / single linkage (nearest-neighbour-chain algorithm).
+  The complete-linkage routine is also the subroutine DBHT uses for its
+  three-level hierarchy.
+* :mod:`repro.baselines.pmfg` — the Planar Maximally Filtered Graph, built
+  edge-by-edge with a planarity test.
+* :mod:`repro.baselines.classic_dbht` — the original DBHT steps (triangle
+  enumeration bubble tree, BFS-based edge direction) for arbitrary maximal
+  planar graphs such as the PMFG.
+* :mod:`repro.baselines.kmeans` — k-means with k-means++ and scalable
+  k-means|| initialisation.
+* :mod:`repro.baselines.spectral` — k-nearest-neighbour-graph spectral
+  embedding followed by k-means (the paper's K-MEANS-S).
+"""
+
+from repro.baselines.hac import hac_dendrogram, linkage
+from repro.baselines.kmeans import kmeans, kmeans_plus_plus, scalable_kmeans_init
+from repro.baselines.pmfg import construct_pmfg
+from repro.baselines.spectral import spectral_embedding, spectral_kmeans
+from repro.baselines.classic_dbht import build_bubble_tree_from_graph, pmfg_dbht
+
+__all__ = [
+    "hac_dendrogram",
+    "linkage",
+    "kmeans",
+    "kmeans_plus_plus",
+    "scalable_kmeans_init",
+    "construct_pmfg",
+    "spectral_embedding",
+    "spectral_kmeans",
+    "build_bubble_tree_from_graph",
+    "pmfg_dbht",
+]

@@ -1,0 +1,205 @@
+"""k-means with k-means++ and scalable k-means|| initialisation.
+
+The paper uses a scalable k-means++ implementation as its non-hierarchical
+baseline (K-MEANS) and a spectral-embedding variant (K-MEANS-S, see
+:mod:`repro.baselines.spectral`).  Both initialisation schemes from the
+literature are implemented here: the classic k-means++ D^2 sampling and the
+k-means|| oversampling scheme of Bahmani et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Result of Lloyd's algorithm."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def _squared_distances_to_centers(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance from each point to each center."""
+    data_norms = (data ** 2).sum(axis=1)[:, None]
+    center_norms = (centers ** 2).sum(axis=1)[None, :]
+    distances = data_norms + center_norms - 2.0 * (data @ centers.T)
+    return np.clip(distances, 0.0, None)
+
+
+def kmeans_plus_plus(
+    data: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: D^2-weighted sampling of initial centers."""
+    n = data.shape[0]
+    if num_clusters > n:
+        raise ValueError("more clusters requested than data points")
+    centers = np.empty((num_clusters, data.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = data[first]
+    closest = _squared_distances_to_centers(data, centers[:1]).ravel()
+    for index in range(1, num_clusters):
+        total = closest.sum()
+        if total <= 0:
+            # All points coincide with existing centers; pick uniformly.
+            choice = int(rng.integers(n))
+        else:
+            probabilities = closest / total
+            choice = int(rng.choice(n, p=probabilities))
+        centers[index] = data[choice]
+        new_distances = _squared_distances_to_centers(data, centers[index : index + 1]).ravel()
+        closest = np.minimum(closest, new_distances)
+    return centers
+
+
+def scalable_kmeans_init(
+    data: np.ndarray,
+    num_clusters: int,
+    rng: np.random.Generator,
+    oversampling: float = 2.0,
+    rounds: int = 5,
+) -> np.ndarray:
+    """k-means|| seeding (Bahmani et al.): oversample, then reduce with k-means++.
+
+    Each round samples points with probability proportional to their current
+    squared distance, oversampling by ``oversampling * num_clusters``; the
+    resulting candidate set is weighted by how many points it attracts and
+    reduced to ``num_clusters`` centers with weighted k-means++.
+    """
+    n = data.shape[0]
+    if num_clusters > n:
+        raise ValueError("more clusters requested than data points")
+    first = int(rng.integers(n))
+    candidates = [data[first]]
+    closest = _squared_distances_to_centers(data, np.asarray(candidates)).ravel()
+    expected = oversampling * num_clusters
+    for _ in range(rounds):
+        total = closest.sum()
+        if total <= 0:
+            break
+        probabilities = np.minimum(1.0, expected * closest / total)
+        sampled = np.flatnonzero(rng.random(n) < probabilities)
+        if sampled.size == 0:
+            continue
+        for index in sampled:
+            candidates.append(data[index])
+        new_distances = _squared_distances_to_centers(data, data[sampled])
+        closest = np.minimum(closest, new_distances.min(axis=1))
+    candidate_array = np.unique(np.asarray(candidates), axis=0)
+    if candidate_array.shape[0] <= num_clusters:
+        # Not enough distinct candidates; fall back to k-means++ on the data.
+        return kmeans_plus_plus(data, num_clusters, rng)
+    # Weight candidates by the number of points closest to them.
+    assignments = np.argmin(_squared_distances_to_centers(data, candidate_array), axis=1)
+    weights = np.bincount(assignments, minlength=candidate_array.shape[0]).astype(float)
+    return _weighted_kmeans_plus_plus(candidate_array, weights, num_clusters, rng)
+
+
+def _weighted_kmeans_plus_plus(
+    points: np.ndarray, weights: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    centers = np.empty((num_clusters, points.shape[1]))
+    total_weight = weights.sum()
+    probabilities = weights / total_weight if total_weight > 0 else None
+    first = int(rng.choice(points.shape[0], p=probabilities))
+    centers[0] = points[first]
+    closest = _squared_distances_to_centers(points, centers[:1]).ravel()
+    for index in range(1, num_clusters):
+        scores = closest * weights
+        total = scores.sum()
+        if total <= 0:
+            choice = int(rng.integers(points.shape[0]))
+        else:
+            choice = int(rng.choice(points.shape[0], p=scores / total))
+        centers[index] = points[choice]
+        new_distances = _squared_distances_to_centers(points, centers[index : index + 1]).ravel()
+        closest = np.minimum(closest, new_distances)
+    return centers
+
+
+def kmeans(
+    data: np.ndarray,
+    num_clusters: int,
+    init: str = "k-means++",
+    max_iterations: int = 300,
+    tolerance: float = 1e-6,
+    seed: Optional[int] = None,
+    num_restarts: int = 1,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ or k-means|| initialisation.
+
+    ``num_restarts`` runs the whole procedure several times and keeps the
+    solution with the lowest inertia (the paper notes k-means is not
+    deterministic; restarts reduce the variance of the baseline).
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError("data must be a 2-D array")
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be positive")
+    if init not in ("k-means++", "k-means||", "random"):
+        raise ValueError(f"unknown init scheme {init!r}")
+    rng = np.random.default_rng(seed)
+
+    best: Optional[KMeansResult] = None
+    for _ in range(max(1, num_restarts)):
+        result = _kmeans_single(data, num_clusters, init, max_iterations, tolerance, rng)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def _kmeans_single(
+    data: np.ndarray,
+    num_clusters: int,
+    init: str,
+    max_iterations: int,
+    tolerance: float,
+    rng: np.random.Generator,
+) -> KMeansResult:
+    if init == "k-means++":
+        centers = kmeans_plus_plus(data, num_clusters, rng)
+    elif init == "k-means||":
+        centers = scalable_kmeans_init(data, num_clusters, rng)
+    else:
+        indices = rng.choice(data.shape[0], size=num_clusters, replace=False)
+        centers = data[indices].copy()
+
+    labels = np.zeros(data.shape[0], dtype=int)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = _squared_distances_to_centers(data, centers)
+        labels = np.argmin(distances, axis=1)
+        new_centers = centers.copy()
+        for cluster in range(num_clusters):
+            members = data[labels == cluster]
+            if members.shape[0] > 0:
+                new_centers[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed empty clusters at the point furthest from its center.
+                worst = int(np.argmax(distances.min(axis=1)))
+                new_centers[cluster] = data[worst]
+        shift = float(np.linalg.norm(new_centers - centers))
+        centers = new_centers
+        if shift <= tolerance:
+            converged = True
+            break
+    distances = _squared_distances_to_centers(data, centers)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+    return KMeansResult(
+        labels=labels,
+        centers=centers,
+        inertia=inertia,
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+Two subcommands cover the library's main workflows without writing Python:
+
+``cluster``
+    Cluster a CSV/NPY matrix of time series (one object per row) with
+    TMFG + DBHT and write the flat labels (and optionally a Newick tree).
+
+``figure``
+    Re-run one of the paper's figure reproductions and print its rows.
+
+Examples
+--------
+::
+
+    python -m repro cluster data.csv --clusters 5 --prefix 10 --out labels.csv
+    python -m repro figure fig6 --scale 0.02
+    python -m repro list-figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import tmfg_dbht
+from repro.datasets.similarity import similarity_and_dissimilarity
+from repro.dendrogram.export import to_newick
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+
+FIGURE_ENTRY_POINTS: Dict[str, Callable[..., dict]] = {
+    "table2": figures.table2_datasets,
+    "fig1": figures.figure1_quality_vs_time,
+    "fig3": figures.figure3_runtime,
+    "fig4": figures.figure4_speedup,
+    "fig5": figures.figure5_breakdown,
+    "fig6": figures.figure6_prefix_quality,
+    "fig7": figures.figure7_edge_sum,
+    "fig8": figures.figure8_quality,
+    "fig9": figures.figure9_spectral_sensitivity,
+    "fig10": figures.figure10_stock_clusters,
+    "fig11": figures.figure11_market_cap,
+    "appendix": figures.appendix_prefix_example,
+    "speedup-factors": figures.speedup_factors,
+    "scaling": figures.scaling_with_data_size,
+}
+
+
+def _load_matrix(path: str) -> np.ndarray:
+    """Load a 2-D matrix from a .npy or delimited-text file."""
+    if path.endswith(".npy"):
+        matrix = np.load(path)
+    else:
+        matrix = np.loadtxt(path, delimiter=",")
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix in {path}, got shape {matrix.shape}")
+    return matrix
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    data = _load_matrix(args.input)
+    if args.precomputed:
+        similarity = data
+        dissimilarity = None
+    else:
+        similarity, dissimilarity = similarity_and_dissimilarity(data)
+    result = tmfg_dbht(similarity, dissimilarity, prefix=args.prefix)
+    labels = result.cut(args.clusters)
+    if args.out:
+        np.savetxt(args.out, labels, fmt="%d")
+        print(f"wrote {len(labels)} labels to {args.out}")
+    else:
+        print(",".join(str(int(label)) for label in labels))
+    if args.newick:
+        with open(args.newick, "w", encoding="utf-8") as handle:
+            handle.write(to_newick(result.dendrogram) + "\n")
+        print(f"wrote Newick tree to {args.newick}")
+    sizes = np.bincount(labels)
+    print(f"clusters: {len(sizes)}  sizes: {sizes.tolist()}")
+    timing = "  ".join(f"{k}={v:.2f}s" for k, v in result.step_seconds.items())
+    print(f"timings: {timing}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    if args.name not in FIGURE_ENTRY_POINTS:
+        print(f"unknown figure {args.name!r}; use `list-figures`", file=sys.stderr)
+        return 2
+    entry_point = FIGURE_ENTRY_POINTS[args.name]
+    if args.name == "appendix":
+        result = entry_point()
+    else:
+        config = ExperimentConfig(scale=args.scale) if args.scale else None
+        result = entry_point(config)
+    print(format_table(result["headers"], result["rows"], title=result["title"]))
+    return 0
+
+
+def _command_list_figures(_: argparse.Namespace) -> int:
+    for name in FIGURE_ENTRY_POINTS:
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel filtered graphs (TMFG) + DBHT hierarchical clustering",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    cluster = subparsers.add_parser("cluster", help="cluster a data matrix with TMFG + DBHT")
+    cluster.add_argument("input", help="CSV or .npy file, one object per row")
+    cluster.add_argument("--clusters", type=int, required=True, help="number of flat clusters")
+    cluster.add_argument("--prefix", type=int, default=10, help="TMFG prefix size (1 = exact)")
+    cluster.add_argument(
+        "--precomputed",
+        action="store_true",
+        help="treat the input as a precomputed similarity matrix instead of raw series",
+    )
+    cluster.add_argument("--out", help="write labels to this file (one per line)")
+    cluster.add_argument("--newick", help="also write the dendrogram as a Newick file")
+    cluster.set_defaults(func=_command_cluster)
+
+    figure = subparsers.add_parser("figure", help="re-run one of the paper's figures")
+    figure.add_argument("name", help="figure id, e.g. fig6 (see list-figures)")
+    figure.add_argument("--scale", type=float, default=None, help="data-set scale factor")
+    figure.set_defaults(func=_command_figure)
+
+    list_figures = subparsers.add_parser("list-figures", help="list available figure ids")
+    list_figures.set_defaults(func=_command_list_figures)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

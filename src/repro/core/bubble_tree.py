@@ -1,0 +1,194 @@
+"""Bubble tree construction (Algorithm 2).
+
+A *bubble* is a maximal planar subgraph whose 3-cliques are non-separating;
+in a graph built by the TMFG process every bubble is a 4-clique, and each
+vertex insertion creates exactly one new bubble and one new bubble-tree edge
+whose separating triangle is the face the vertex was inserted into.  The
+tree is therefore built on the fly during TMFG construction instead of by
+the original DBHT's quadratic-work triangle enumeration.
+
+Invariant maintained (Section V-A): every bubble has a parent and at most
+three children, except the root which has no parent, and all descendants of
+a tree edge lie in the interior of the edge's separating triangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.faces import Triangle, triangle_key
+
+
+@dataclass
+class Bubble:
+    """One node of the bubble tree: a 4-clique of the TMFG."""
+
+    id: int
+    vertices: FrozenSet[int]
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+
+    def separating_triangle_with_parent(self, parent_vertices: FrozenSet[int]) -> Triangle:
+        """The three vertices shared with the parent bubble."""
+        shared = self.vertices & parent_vertices
+        if len(shared) != 3:
+            raise ValueError(
+                f"bubble {self.id} shares {len(shared)} vertices with its parent, expected 3"
+            )
+        return frozenset(shared)
+
+
+class BubbleTree:
+    """Rooted bubble tree built incrementally during TMFG construction."""
+
+    def __init__(self, initial_clique: Iterable[int], initial_faces: Iterable[Triangle]) -> None:
+        clique = frozenset(initial_clique)
+        if len(clique) != 4:
+            raise ValueError(f"initial clique must have 4 vertices, got {len(clique)}")
+        root = Bubble(id=0, vertices=clique)
+        self._bubbles: List[Bubble] = [root]
+        self._root_id = 0
+        # Which bubble each face was created in (Line 3 of Algorithm 2).
+        self._face_owner: Dict[Triangle, int] = {}
+        for face in initial_faces:
+            face = frozenset(face)
+            if not face <= clique or len(face) != 3:
+                raise ValueError("initial faces must be triangles of the initial clique")
+            self._face_owner[face] = 0
+        # Which bubbles each graph vertex belongs to.
+        self._vertex_bubbles: Dict[int, List[int]] = {v: [0] for v in clique}
+
+    # -- construction ------------------------------------------------------
+
+    def insert(self, vertex: int, face: Triangle, is_outer_face: bool) -> int:
+        """Record the insertion of ``vertex`` into ``face`` (Algorithm 2).
+
+        Returns the id of the new bubble.  ``is_outer_face`` indicates that
+        ``face`` was the current outer face, in which case the new bubble
+        becomes the parent of the bubble owning ``face`` (and thus the new
+        root of the tree).
+        """
+        face = frozenset(face)
+        if face not in self._face_owner:
+            raise KeyError(f"face {set(face)} is not a known face of the bubble tree")
+        owner_id = self._face_owner[face]
+        new_id = len(self._bubbles)
+        new_bubble = Bubble(id=new_id, vertices=frozenset(face | {vertex}))
+        self._bubbles.append(new_bubble)
+        owner = self._bubbles[owner_id]
+        if is_outer_face:
+            if owner_id != self._root_id:
+                raise ValueError("the outer face must belong to the current root bubble")
+            owner.parent = new_id
+            new_bubble.children.append(owner_id)
+            self._root_id = new_id
+        else:
+            new_bubble.parent = owner_id
+            owner.children.append(new_id)
+        # The three new faces of the 4-clique belong to the new bubble.
+        a, b, c = sorted(face)
+        for new_face in (
+            triangle_key(vertex, a, b),
+            triangle_key(vertex, b, c),
+            triangle_key(vertex, a, c),
+        ):
+            self._face_owner[new_face] = new_id
+        for member in new_bubble.vertices:
+            self._vertex_bubbles.setdefault(member, []).append(new_id)
+        return new_id
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def root_id(self) -> int:
+        return self._root_id
+
+    @property
+    def num_bubbles(self) -> int:
+        return len(self._bubbles)
+
+    def bubble(self, bubble_id: int) -> Bubble:
+        return self._bubbles[bubble_id]
+
+    @property
+    def bubbles(self) -> Tuple[Bubble, ...]:
+        return tuple(self._bubbles)
+
+    def bubbles_of_vertex(self, vertex: int) -> List[int]:
+        """Ids of the bubbles containing a graph vertex."""
+        return list(self._vertex_bubbles.get(vertex, []))
+
+    def face_owner(self, face: Triangle) -> int:
+        """Id of the bubble in which ``face`` was created."""
+        return self._face_owner[frozenset(face)]
+
+    def separating_triangle(self, bubble_id: int) -> Triangle:
+        """Separating triangle of the tree edge between a bubble and its parent."""
+        bubble = self._bubbles[bubble_id]
+        if bubble.parent is None:
+            raise ValueError(f"bubble {bubble_id} is the root and has no parent edge")
+        parent = self._bubbles[bubble.parent]
+        return bubble.separating_triangle_with_parent(parent.vertices)
+
+    def interior_vertex(self, bubble_id: int) -> int:
+        """The vertex of a non-root bubble not shared with its parent."""
+        bubble = self._bubbles[bubble_id]
+        triangle = self.separating_triangle(bubble_id)
+        remainder = bubble.vertices - triangle
+        if len(remainder) != 1:
+            raise ValueError("bubble does not differ from its parent by exactly one vertex")
+        return next(iter(remainder))
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Tree edges as ``(parent_id, child_id)`` pairs."""
+        result = []
+        for bubble in self._bubbles:
+            if bubble.parent is not None:
+                result.append((bubble.parent, bubble.id))
+        return result
+
+    def topological_order(self) -> List[int]:
+        """Bubble ids from the root downwards (parents before children)."""
+        order: List[int] = []
+        stack = [self._root_id]
+        while stack:
+            bubble_id = stack.pop()
+            order.append(bubble_id)
+            stack.extend(self._bubbles[bubble_id].children)
+        return order
+
+    def descendants_vertices(self, bubble_id: int) -> Set[int]:
+        """All graph vertices in the subtree rooted at ``bubble_id``."""
+        vertices: Set[int] = set()
+        stack = [bubble_id]
+        while stack:
+            current = self._bubbles[stack.pop()]
+            vertices.update(current.vertices)
+            stack.extend(current.children)
+        return vertices
+
+    def height(self) -> int:
+        """Height (number of edges on the longest root-to-leaf path)."""
+        depths = {self._root_id: 0}
+        best = 0
+        for bubble_id in self.topological_order():
+            depth = depths[bubble_id]
+            best = max(best, depth)
+            for child in self._bubbles[bubble_id].children:
+                depths[child] = depth + 1
+        return best
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if the structural invariants are violated."""
+        roots = [b.id for b in self._bubbles if b.parent is None]
+        assert roots == [self._root_id], f"expected a single root, found {roots}"
+        for bubble in self._bubbles:
+            assert len(bubble.vertices) == 4, "every bubble must be a 4-clique"
+            assert len(bubble.children) <= 3, "a bubble has at most three children"
+            for child_id in bubble.children:
+                child = self._bubbles[child_id]
+                assert child.parent == bubble.id
+                assert len(child.vertices & bubble.vertices) == 3, (
+                    "a bubble shares exactly 3 vertices with its parent"
+                )

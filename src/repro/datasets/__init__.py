@@ -1,0 +1,44 @@
+"""Data sets and similarity measures.
+
+The paper evaluates on 18 data sets from the UCR time-series archive and a
+US stock data set.  Neither is available offline, so this package provides
+synthetic substitutes that preserve the properties the experiments exercise:
+
+* :mod:`repro.datasets.synthetic` — labelled time-series generators (smooth
+  class prototypes plus noise) and Gaussian-blob generators;
+* :mod:`repro.datasets.ucr_like` — a registry reproducing each UCR data
+  set's (n, L, #classes) signature from Table II at a configurable scale;
+* :mod:`repro.datasets.stocks` — a synthetic stock market with ICB-style
+  sectors, factor-driven correlations, and market capitalisations;
+* :mod:`repro.datasets.similarity` — Pearson correlation matrices, the
+  ``sqrt(2 (1 - p))`` dissimilarity, detrended log-returns, and spectral
+  pre-embedding used for the stock experiment.
+"""
+
+from repro.datasets.loaders import load_price_csv, load_ucr_tsv
+from repro.datasets.similarity import (
+    correlation_matrix,
+    correlation_to_dissimilarity,
+    detrended_log_returns,
+    similarity_and_dissimilarity,
+)
+from repro.datasets.stocks import StockMarket, generate_stock_market
+from repro.datasets.synthetic import make_gaussian_blobs, make_time_series_dataset
+from repro.datasets.ucr_like import DatasetSpec, UCR_LIKE_SPECS, load_ucr_like, list_dataset_ids
+
+__all__ = [
+    "load_price_csv",
+    "load_ucr_tsv",
+    "correlation_matrix",
+    "correlation_to_dissimilarity",
+    "detrended_log_returns",
+    "similarity_and_dissimilarity",
+    "StockMarket",
+    "generate_stock_market",
+    "make_gaussian_blobs",
+    "make_time_series_dataset",
+    "DatasetSpec",
+    "UCR_LIKE_SPECS",
+    "load_ucr_like",
+    "list_dataset_ids",
+]

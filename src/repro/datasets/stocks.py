@@ -1,0 +1,162 @@
+"""Synthetic US stock market (substitute for the Yahoo Finance data).
+
+The paper clusters the daily closing prices of 1614 US stocks (2013-2019)
+and compares the clusters with the Industry Classification Benchmark (ICB)
+industries, plus an analysis of market capitalisation per cluster (Figs. 10
+and 11).  Real prices are not available offline, so this module simulates a
+market with the structure those experiments rely on:
+
+* each stock belongs to one of the 11 ICB industries;
+* daily log-returns follow a factor model: a market-wide factor, one factor
+  per industry, and idiosyncratic noise, so intra-industry correlations are
+  systematically higher than inter-industry correlations;
+* market capitalisations are log-normal, with some industries containing a
+  larger share of small-cap (more volatile, hence noisier) stocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# ICB industries and their abbreviations (Table III of the paper).
+ICB_INDUSTRIES: Tuple[Tuple[str, str], ...] = (
+    ("TEC", "Technology"),
+    ("I", "Industrials"),
+    ("F", "Financials"),
+    ("HC", "Health Care"),
+    ("CD", "Consumer Discretionary"),
+    ("RE", "Real Estate"),
+    ("U", "Utilities"),
+    ("CS", "Consumer Staples"),
+    ("BM", "Basic Materials"),
+    ("E", "Energy"),
+    ("TEL", "Telecommunications"),
+)
+
+
+@dataclass
+class StockMarket:
+    """Synthetic market: prices, sector labels, and market caps."""
+
+    prices: np.ndarray
+    sectors: np.ndarray
+    sector_names: Tuple[str, ...]
+    market_caps: np.ndarray
+    tickers: Tuple[str, ...]
+
+    @property
+    def num_stocks(self) -> int:
+        return self.prices.shape[0]
+
+    @property
+    def num_days(self) -> int:
+        return self.prices.shape[1]
+
+    def sector_name(self, stock: int) -> str:
+        return self.sector_names[int(self.sectors[stock])]
+
+
+def _sector_sizes(num_stocks: int, num_sectors: int, rng: np.random.Generator) -> np.ndarray:
+    """Uneven sector sizes (markets are not balanced across industries)."""
+    weights = rng.uniform(0.5, 1.5, size=num_sectors)
+    weights /= weights.sum()
+    sizes = np.maximum((weights * num_stocks).astype(int), 4)
+    # Adjust to hit the exact total.
+    while sizes.sum() > num_stocks:
+        sizes[np.argmax(sizes)] -= 1
+    while sizes.sum() < num_stocks:
+        sizes[np.argmin(sizes)] += 1
+    return sizes
+
+
+def generate_stock_market(
+    num_stocks: int = 300,
+    num_days: int = 500,
+    seed: Optional[int] = None,
+    market_volatility: float = 0.008,
+    sector_volatility: float = 0.010,
+    idiosyncratic_volatility: float = 0.012,
+    small_cap_extra_noise: float = 0.012,
+) -> StockMarket:
+    """Simulate a stock market with ICB-style sector structure.
+
+    Smaller-cap stocks receive extra idiosyncratic volatility, reproducing
+    the paper's observation that the most mixed clusters contain the
+    smallest companies (Fig. 11).
+    """
+    if num_stocks < 4 * len(ICB_INDUSTRIES):
+        raise ValueError(
+            f"need at least {4 * len(ICB_INDUSTRIES)} stocks for {len(ICB_INDUSTRIES)} sectors"
+        )
+    rng = np.random.default_rng(seed)
+    num_sectors = len(ICB_INDUSTRIES)
+    sizes = _sector_sizes(num_stocks, num_sectors, rng)
+    sectors = np.repeat(np.arange(num_sectors), sizes)
+    rng.shuffle(sectors)
+
+    # Market capitalisations: log-normal, with per-stock size percentile.
+    log_caps = rng.normal(21.0, 2.0, size=num_stocks)
+    market_caps = np.exp(log_caps)
+    cap_percentile = np.argsort(np.argsort(market_caps)) / max(num_stocks - 1, 1)
+
+    market_factor = rng.normal(0.0, market_volatility, size=num_days - 1)
+    sector_factors = rng.normal(0.0, sector_volatility, size=(num_sectors, num_days - 1))
+
+    returns = np.empty((num_stocks, num_days - 1))
+    for stock in range(num_stocks):
+        sector = sectors[stock]
+        # Smaller companies load less on their sector and carry more noise.
+        sector_loading = 0.7 + 0.6 * cap_percentile[stock]
+        noise_scale = idiosyncratic_volatility + small_cap_extra_noise * (
+            1.0 - cap_percentile[stock]
+        )
+        returns[stock] = (
+            market_factor
+            + sector_loading * sector_factors[sector]
+            + rng.normal(0.0, noise_scale, size=num_days - 1)
+        )
+
+    initial_prices = rng.uniform(10.0, 200.0, size=num_stocks)
+    prices = np.empty((num_stocks, num_days))
+    prices[:, 0] = initial_prices
+    prices[:, 1:] = initial_prices[:, None] * np.exp(np.cumsum(returns, axis=1))
+
+    tickers = tuple(f"SYN{index:04d}" for index in range(num_stocks))
+    sector_names = tuple(name for _, name in ICB_INDUSTRIES)
+    return StockMarket(
+        prices=prices,
+        sectors=sectors,
+        sector_names=sector_names,
+        market_caps=market_caps,
+        tickers=tickers,
+    )
+
+
+def cluster_sector_counts(
+    labels: Sequence[int], sectors: Sequence[int], num_sectors: Optional[int] = None
+) -> np.ndarray:
+    """Contingency counts of predicted cluster vs. ICB sector (Fig. 10)."""
+    labels = np.asarray(labels)
+    sectors = np.asarray(sectors)
+    if labels.shape != sectors.shape:
+        raise ValueError("labels and sectors must have the same length")
+    num_clusters = int(labels.max()) + 1 if labels.size else 0
+    num_sectors = int(sectors.max()) + 1 if num_sectors is None else num_sectors
+    counts = np.zeros((num_clusters, num_sectors), dtype=int)
+    np.add.at(counts, (labels, sectors), 1)
+    return counts
+
+
+def market_cap_by_group(
+    market_caps: Sequence[float], groups: Sequence[int]
+) -> Dict[int, np.ndarray]:
+    """Market caps split by group label (sector or cluster) for Fig. 11."""
+    market_caps = np.asarray(market_caps, dtype=float)
+    groups = np.asarray(groups)
+    return {
+        int(group): market_caps[groups == group]
+        for group in np.unique(groups)
+    }

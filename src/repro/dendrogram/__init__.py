@@ -1,0 +1,35 @@
+"""Dendrogram data structure and utilities.
+
+The output of every hierarchical method in this repository (DBHT, the HAC
+baselines) is a :class:`~repro.dendrogram.node.Dendrogram`: a full binary
+merge tree over the input objects where each internal node carries a height.
+Cutting the dendrogram (``cut_k`` / ``cut_height``) produces flat clusters,
+which is how the paper evaluates quality (the tree is cut so the number of
+clusters equals the number of ground-truth classes).
+"""
+
+from repro.dendrogram.cut import cut_k, cut_height
+from repro.dendrogram.export import (
+    cluster_membership_table,
+    cophenetic_correlation,
+    cophenetic_distances,
+    to_newick,
+)
+from repro.dendrogram.linkage import dendrogram_from_linkage, to_linkage_matrix
+from repro.dendrogram.node import Dendrogram, DendrogramNode
+from repro.dendrogram.render import render_cluster_summary, render_tree
+
+__all__ = [
+    "cut_k",
+    "cut_height",
+    "cluster_membership_table",
+    "cophenetic_correlation",
+    "cophenetic_distances",
+    "to_newick",
+    "dendrogram_from_linkage",
+    "to_linkage_matrix",
+    "Dendrogram",
+    "DendrogramNode",
+    "render_cluster_summary",
+    "render_tree",
+]

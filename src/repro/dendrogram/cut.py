@@ -1,0 +1,93 @@
+"""Cutting dendrograms into flat clusterings.
+
+The paper evaluates every hierarchical method by cutting its dendrogram so
+that the number of clusters equals the number of ground-truth classes
+(Section VII).  ``cut_k`` implements exactly that; ``cut_height`` cuts at a
+height threshold.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from repro.dendrogram.node import Dendrogram
+
+
+def cut_k(dendrogram: Dendrogram, num_clusters: int) -> np.ndarray:
+    """Cut the dendrogram into exactly ``num_clusters`` clusters.
+
+    Repeatedly splits the cluster whose root has the greatest height (ties
+    broken towards the larger raw merge distance, then towards later-created
+    nodes), which for monotone heights is equivalent to a horizontal cut.
+    The distance tie-break matters for DBHT dendrograms, whose re-assigned
+    heights are integers at the inter-group level: among equally-high nodes
+    the least cohesive cluster (largest complete-linkage merge distance) is
+    split first.  Returns an array of cluster labels ``0 .. num_clusters-1``
+    indexed by leaf id.  If ``num_clusters`` exceeds the number of leaves,
+    each leaf becomes its own cluster.
+    """
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be at least 1")
+    if not dendrogram.is_complete:
+        raise ValueError("dendrogram must be complete before cutting")
+    num_clusters = min(num_clusters, dendrogram.num_leaves)
+
+    # Max-heap keyed by (height, merge distance, node id).
+    heap: List = []
+    root = dendrogram.root
+
+    def push(node_id: int) -> None:
+        node = dendrogram.node(node_id)
+        if node.is_leaf:
+            # Leaves cannot be split; key them below every internal node.
+            heapq.heappush(heap, (float("inf"), float("inf"), -node_id, node_id))
+        else:
+            heapq.heappush(heap, (-node.height, -node.distance, -node_id, node_id))
+
+    push(root)
+    clusters = 1
+    while clusters < num_clusters:
+        key, distance_key, _, node_id = heapq.heappop(heap)
+        node = dendrogram.node(node_id)
+        if node.is_leaf:
+            # Nothing left to split (all remaining entries are leaves).
+            heapq.heappush(heap, (key, distance_key, -node_id, node_id))
+            break
+        push(node.left)  # type: ignore[arg-type]
+        push(node.right)  # type: ignore[arg-type]
+        clusters += 1
+
+    labels = np.full(dendrogram.num_leaves, -1, dtype=int)
+    for label, (_, _, _, node_id) in enumerate(sorted(heap, key=lambda item: item[3])):
+        for leaf in dendrogram.leaves_under(node_id):
+            labels[leaf] = label
+    return labels
+
+
+def cut_height(dendrogram: Dendrogram, height: float) -> np.ndarray:
+    """Cut the dendrogram at a height threshold.
+
+    Two leaves are in the same cluster iff their lowest common ancestor has
+    height at most ``height``.  Returns cluster labels indexed by leaf id.
+    """
+    if not dendrogram.is_complete:
+        raise ValueError("dendrogram must be complete before cutting")
+    labels = np.full(dendrogram.num_leaves, -1, dtype=int)
+    next_label = 0
+    # Walk down from the root; a subtree whose root height <= threshold (or a
+    # leaf) becomes one cluster.
+    stack = [dendrogram.root]
+    while stack:
+        node_id = stack.pop()
+        node = dendrogram.node(node_id)
+        if node.is_leaf or node.height <= height:
+            for leaf in dendrogram.leaves_under(node_id):
+                labels[leaf] = next_label
+            next_label += 1
+        else:
+            stack.append(node.left)  # type: ignore[arg-type]
+            stack.append(node.right)  # type: ignore[arg-type]
+    return labels

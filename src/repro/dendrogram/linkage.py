@@ -1,0 +1,39 @@
+"""Conversion between :class:`Dendrogram` and scipy-style linkage matrices.
+
+A linkage matrix has one row per merge: ``[left_id, right_id, height, size]``
+with leaf ids ``0..n-1`` and the i-th merge creating node ``n + i``.  The
+conversion is useful both for interoperability (plotting with scipy) and for
+round-trip testing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dendrogram.node import Dendrogram
+
+
+def to_linkage_matrix(dendrogram: Dendrogram) -> np.ndarray:
+    """Convert a complete dendrogram to an ``(n-1, 4)`` linkage matrix."""
+    if not dendrogram.is_complete:
+        raise ValueError("dendrogram must be complete")
+    rows = []
+    for node in dendrogram.internal_nodes():
+        rows.append([float(node.left), float(node.right), float(node.height), float(node.size)])
+    if not rows:
+        return np.zeros((0, 4))
+    return np.asarray(rows, dtype=float)
+
+
+def dendrogram_from_linkage(linkage: np.ndarray, num_leaves: int = None) -> Dendrogram:
+    """Build a :class:`Dendrogram` from an ``(n-1, 4)`` linkage matrix."""
+    linkage = np.asarray(linkage, dtype=float)
+    if linkage.ndim != 2 or (linkage.size and linkage.shape[1] != 4):
+        raise ValueError("linkage matrix must have shape (n-1, 4)")
+    if num_leaves is None:
+        num_leaves = linkage.shape[0] + 1
+    dendrogram = Dendrogram(num_leaves)
+    for row in linkage:
+        left, right, height, _ = row
+        dendrogram.merge(int(left), int(right), float(height))
+    return dendrogram

@@ -1,0 +1,78 @@
+"""Plain-text rendering of dendrograms.
+
+`render_tree` draws the merge structure as an indented ASCII tree, which is
+enough to eyeball a hierarchy in a terminal or a log file without plotting
+dependencies.  Large dendrograms can be truncated to the top levels with
+``max_depth``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dendrogram.node import Dendrogram
+
+
+def render_tree(
+    dendrogram: Dendrogram,
+    leaf_names: Optional[Sequence[str]] = None,
+    max_depth: Optional[int] = None,
+    show_heights: bool = True,
+) -> str:
+    """Render a complete dendrogram as an indented ASCII tree.
+
+    ``max_depth`` limits how many levels below the root are expanded; deeper
+    subtrees are summarised as ``[k leaves]``.
+    """
+    if not dendrogram.is_complete:
+        raise ValueError("dendrogram must be complete to render")
+    if leaf_names is not None and len(leaf_names) != dendrogram.num_leaves:
+        raise ValueError(
+            f"expected {dendrogram.num_leaves} leaf names, got {len(leaf_names)}"
+        )
+
+    def leaf_label(leaf: int) -> str:
+        return str(leaf_names[leaf]) if leaf_names is not None else f"leaf {leaf}"
+
+    lines: List[str] = []
+
+    def render(node_id: int, prefix: str, connector: str, depth: int) -> None:
+        node = dendrogram.node(node_id)
+        if node.is_leaf:
+            lines.append(f"{prefix}{connector}{leaf_label(node.id)}")
+            return
+        if max_depth is not None and depth >= max_depth:
+            lines.append(f"{prefix}{connector}[{node.size} leaves]")
+            return
+        label = f"height {node.height:.3g}" if show_heights else "*"
+        lines.append(f"{prefix}{connector}{label}")
+        child_prefix = prefix + ("   " if connector in ("", "`- ") else "|  ")
+        render(node.left, child_prefix, "|- ", depth + 1)  # type: ignore[arg-type]
+        render(node.right, child_prefix, "`- ", depth + 1)  # type: ignore[arg-type]
+
+    render(dendrogram.root, "", "", 0)
+    return "\n".join(lines)
+
+
+def render_cluster_summary(
+    dendrogram: Dendrogram,
+    num_clusters: int,
+    leaf_names: Optional[Sequence[str]] = None,
+    max_members: int = 10,
+) -> str:
+    """One line per cluster of a k-cut: size and the first few members."""
+    from repro.dendrogram.cut import cut_k
+
+    labels = cut_k(dendrogram, num_clusters)
+    lines = []
+    for cluster in range(int(labels.max()) + 1):
+        members = [index for index in range(len(labels)) if labels[index] == cluster]
+        shown = members[:max_members]
+        names = [
+            str(leaf_names[m]) if leaf_names is not None else str(m) for m in shown
+        ]
+        suffix = ", ..." if len(members) > max_members else ""
+        lines.append(
+            f"cluster {cluster}: {len(members)} members ({', '.join(names)}{suffix})"
+        )
+    return "\n".join(lines)

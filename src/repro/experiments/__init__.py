@@ -1,0 +1,24 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.config` — experiment-wide configuration (data-set
+  scale, method lists, prefix sweeps, random seeds).
+* :mod:`repro.experiments.harness` — run a named method on a data set and
+  collect labels, timings, and quality scores.
+* :mod:`repro.experiments.figures` — one entry point per table / figure of
+  the paper; each returns plain data structures that the benchmarks print.
+* :mod:`repro.experiments.reporting` — text-table rendering of those
+  results, written to stdout and to EXPERIMENTS-friendly strings.
+"""
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.harness import MethodRun, available_methods, run_method
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "MethodRun",
+    "available_methods",
+    "run_method",
+    "format_table",
+]

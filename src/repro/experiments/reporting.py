@@ -1,0 +1,53 @@
+"""Plain-text reporting for the experiment reproductions.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; this module renders them as aligned text tables so the output of
+``pytest benchmarks/ --benchmark-only`` doubles as the raw data behind
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping(title: str, mapping: Mapping[str, object]) -> str:
+    """Render a flat mapping as ``key: value`` lines under a title."""
+    lines = [title]
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            lines.append(f"  {key}: {value:.4f}")
+        else:
+            lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

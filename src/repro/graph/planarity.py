@@ -1,0 +1,349 @@
+"""Left-Right planarity test.
+
+The PMFG baseline adds candidate edges in decreasing weight order and keeps
+an edge only if the graph stays planar, so it needs a planarity test that is
+fast enough to be called once per candidate edge.  This module implements
+the Left-Right (de Fraysseix / Rosenstiehl, as described by Brandes)
+planarity *test* — the boolean decision, without constructing an embedding —
+which runs in O(n + m) time per call.
+
+The test is validated against ``networkx.check_planarity`` in the test
+suite, including property-based tests over random graphs, K5/K3,3
+subdivisions, and graphs produced by the TMFG construction (which are planar
+by construction).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.weighted_graph import WeightedGraph
+
+Edge = Tuple[int, int]
+
+
+@contextmanager
+def _recursion_limit(limit: int):
+    old = sys.getrecursionlimit()
+    if limit > old:
+        sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+class _Interval:
+    """An interval of return edges, bounded by a low and a high edge."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Optional[Edge] = None, high: Optional[Edge] = None) -> None:
+        self.low = low
+        self.high = high
+
+    def empty(self) -> bool:
+        return self.low is None and self.high is None
+
+    def copy(self) -> "_Interval":
+        return _Interval(self.low, self.high)
+
+
+class _ConflictPair:
+    """A pair of intervals of return edges that must go to opposite sides."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self, left: Optional[_Interval] = None, right: Optional[_Interval] = None
+    ) -> None:
+        self.left = left if left is not None else _Interval()
+        self.right = right if right is not None else _Interval()
+
+    def swap(self) -> None:
+        self.left, self.right = self.right, self.left
+
+
+class NotPlanarError(Exception):
+    """Internal signal raised when a conflict proves the graph non-planar."""
+
+
+class _LRPlanarity:
+    """State for one run of the Left-Right planarity test."""
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge]) -> None:
+        self.n = num_vertices
+        self.adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+        self.num_edges = 0
+        seen = set()
+        for u, v in edges:
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.adjacency[u].append(v)
+            self.adjacency[v].append(u)
+            self.num_edges += 1
+
+        self.height: List[Optional[int]] = [None] * num_vertices
+        self.parent_edge: List[Optional[Edge]] = [None] * num_vertices
+        self.lowpt: Dict[Edge, int] = {}
+        self.lowpt2: Dict[Edge, int] = {}
+        self.nesting_depth: Dict[Edge, int] = {}
+        self.oriented: set = set()
+        self.directed_adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+        self.ordered_adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+        self.ref: Dict[Edge, Optional[Edge]] = {}
+        self.side: Dict[Edge, int] = {}
+        self.stack: List[_ConflictPair] = []
+        self.stack_bottom: Dict[Edge, Optional[_ConflictPair]] = {}
+        self.lowpt_edge: Dict[Edge, Edge] = {}
+        self.roots: List[int] = []
+
+    # -- public entry ------------------------------------------------------
+
+    def is_planar(self) -> bool:
+        if self.n <= 4:
+            # Any graph on at most four vertices is planar.
+            return True
+        if self.num_edges > 3 * self.n - 6:
+            return False
+        with _recursion_limit(4 * self.n + 1000):
+            for v in range(self.n):
+                if self.height[v] is None:
+                    self.height[v] = 0
+                    self.roots.append(v)
+                    self._dfs_orientation(v)
+            for v in range(self.n):
+                self.ordered_adjacency[v] = sorted(
+                    self.directed_adjacency[v],
+                    key=lambda w: self.nesting_depth[(v, w)],
+                )
+            try:
+                for root in self.roots:
+                    self._dfs_testing(root)
+            except NotPlanarError:
+                return False
+        return True
+
+    # -- phase 1: orientation ----------------------------------------------
+
+    def _dfs_orientation(self, root: int) -> None:
+        # Iterative DFS mirroring the recursive formulation, so that very
+        # deep trees do not overflow the interpreter stack.
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        while stack:
+            v, index = stack.pop()
+            parent = self.parent_edge[v]
+            advanced = False
+            while index < len(self.adjacency[v]):
+                w = self.adjacency[v][index]
+                index += 1
+                if (v, w) in self.oriented or (w, v) in self.oriented:
+                    continue
+                edge = (v, w)
+                self.oriented.add(edge)
+                self.directed_adjacency[v].append(w)
+                self.lowpt[edge] = self.height[v]  # type: ignore[assignment]
+                self.lowpt2[edge] = self.height[v]  # type: ignore[assignment]
+                if self.height[w] is None:
+                    # Tree edge: descend into w, then resume v afterwards.
+                    self.parent_edge[w] = edge
+                    self.height[w] = self.height[v] + 1  # type: ignore[operator]
+                    stack.append((v, index))
+                    stack.append((w, 0))
+                    advanced = True
+                    break
+                # Back edge.
+                self.lowpt[edge] = self.height[w]
+                self._finish_edge(v, edge, parent)
+            if advanced:
+                continue
+            # All outgoing edges of v processed; finish the tree edge into v.
+            if parent is not None:
+                # The tree edge (u, v) gets its nesting depth and updates its
+                # parent's low points once the whole subtree of v is done.
+                self._finish_edge(parent[0], parent, self.parent_edge[parent[0]])
+
+    def _finish_edge(self, v: int, edge: Edge, parent: Optional[Edge]) -> None:
+        """Set nesting depth of ``edge`` and fold its low points into ``parent``."""
+        self.nesting_depth[edge] = 2 * self.lowpt[edge]
+        if self.lowpt2[edge] < self.height[v]:  # type: ignore[operator]
+            self.nesting_depth[edge] += 1
+        if parent is not None:
+            if self.lowpt[edge] < self.lowpt[parent]:
+                self.lowpt2[parent] = min(self.lowpt[parent], self.lowpt2[edge])
+                self.lowpt[parent] = self.lowpt[edge]
+            elif self.lowpt[edge] > self.lowpt[parent]:
+                self.lowpt2[parent] = min(self.lowpt2[parent], self.lowpt[edge])
+            else:
+                self.lowpt2[parent] = min(self.lowpt2[parent], self.lowpt2[edge])
+
+    # -- phase 2: testing ---------------------------------------------------
+
+    def _dfs_testing(self, root: int) -> None:
+        # Each frame is (v, index, pending) where ``pending`` is true when we
+        # are resuming after the subtree of the tree edge at ``index`` has
+        # been fully processed, so the edge still needs to be integrated.
+        stack: List[Tuple[int, int, bool]] = [(root, 0, False)]
+        while stack:
+            v, index, pending = stack.pop()
+            parent = self.parent_edge[v]
+            if pending:
+                # The tree edge ordered_adjacency[v][index] just finished.
+                w = self.ordered_adjacency[v][index]
+                self._integrate_edge(v, (v, w), index, parent)
+                index += 1
+            advanced = False
+            while index < len(self.ordered_adjacency[v]):
+                w = self.ordered_adjacency[v][index]
+                edge = (v, w)
+                self.stack_bottom[edge] = self.stack[-1] if self.stack else None
+                if edge == self.parent_edge[w]:
+                    # Tree edge: descend into w, then resume at this index.
+                    stack.append((v, index, True))
+                    stack.append((w, 0, False))
+                    advanced = True
+                    break
+                # Back edge.
+                self.lowpt_edge[edge] = edge
+                self.stack.append(_ConflictPair(right=_Interval(edge, edge)))
+                self._integrate_edge(v, edge, index, parent)
+                index += 1
+            if advanced:
+                continue
+            if parent is not None:
+                self._finish_vertex(v, parent)
+
+    def _integrate_edge(
+        self, v: int, edge: Edge, index: int, parent: Optional[Edge]
+    ) -> None:
+        """Fold the return edges of ``edge`` into the constraints of ``parent``."""
+        if self.lowpt[edge] < self.height[v]:  # type: ignore[operator]
+            # edge has a return edge below v
+            if index == 0:
+                if parent is not None:
+                    self.lowpt_edge[parent] = self.lowpt_edge[edge]
+            else:
+                self._add_constraints(edge, parent)
+
+    def _add_constraints(self, edge: Edge, parent: Optional[Edge]) -> None:
+        if parent is None:
+            return
+        pair = _ConflictPair()
+        # Merge return edges of ``edge`` into pair.right.
+        while True:
+            popped = self.stack.pop()
+            if not popped.left.empty():
+                popped.swap()
+            if not popped.left.empty():
+                raise NotPlanarError
+            assert popped.right.low is not None
+            if self.lowpt[popped.right.low] > self.lowpt[parent]:
+                if pair.right.empty():
+                    pair.right.high = popped.right.high
+                else:
+                    self.ref[pair.right.low] = popped.right.high  # type: ignore[index]
+                pair.right.low = popped.right.low
+            else:
+                self.ref[popped.right.low] = self.lowpt_edge[parent]
+            top = self.stack[-1] if self.stack else None
+            if top is self.stack_bottom[edge]:
+                break
+        # Merge conflicting return edges of earlier siblings into pair.left.
+        while self.stack and (
+            self._conflicting(self.stack[-1].left, edge)
+            or self._conflicting(self.stack[-1].right, edge)
+        ):
+            popped = self.stack.pop()
+            if self._conflicting(popped.right, edge):
+                popped.swap()
+            if self._conflicting(popped.right, edge):
+                raise NotPlanarError
+            self.ref[pair.right.low] = popped.right.high  # type: ignore[index]
+            if popped.right.low is not None:
+                pair.right.low = popped.right.low
+            if pair.left.empty():
+                pair.left.high = popped.left.high
+            else:
+                self.ref[pair.left.low] = popped.left.high  # type: ignore[index]
+            pair.left.low = popped.left.low
+        if not (pair.left.empty() and pair.right.empty()):
+            self.stack.append(pair)
+
+    def _conflicting(self, interval: _Interval, edge: Edge) -> bool:
+        return (not interval.empty()) and self.lowpt[interval.high] > self.lowpt[edge]  # type: ignore[index]
+
+    def _lowest(self, pair: _ConflictPair) -> int:
+        if pair.left.empty():
+            return self.lowpt[pair.right.low]  # type: ignore[index]
+        if pair.right.empty():
+            return self.lowpt[pair.left.low]  # type: ignore[index]
+        return min(self.lowpt[pair.left.low], self.lowpt[pair.right.low])  # type: ignore[index]
+
+    def _finish_vertex(self, v: int, parent: Edge) -> None:
+        u = parent[0]
+        # Trim back edges ending at the parent u.
+        while self.stack and self._lowest(self.stack[-1]) == self.height[u]:
+            popped = self.stack.pop()
+            if popped.left.low is not None:
+                self.side[popped.left.low] = -1
+        if self.stack:
+            pair = self.stack.pop()
+            # Trim left interval.
+            while pair.left.high is not None and pair.left.high[1] == u:
+                pair.left.high = self.ref.get(pair.left.high)
+            if pair.left.high is None and pair.left.low is not None:
+                self.ref[pair.left.low] = pair.right.low
+                self.side[pair.left.low] = -1
+                pair.left.low = None
+            # Trim right interval.
+            while pair.right.high is not None and pair.right.high[1] == u:
+                pair.right.high = self.ref.get(pair.right.high)
+            if pair.right.high is None and pair.right.low is not None:
+                self.ref[pair.right.low] = pair.left.low
+                self.side[pair.right.low] = -1
+                pair.right.low = None
+            self.stack.append(pair)
+        # Determine the reference edge of ``parent``.
+        if self.lowpt[parent] < self.height[u]:  # type: ignore[operator]
+            if self.stack:
+                high_left = self.stack[-1].left.high
+                high_right = self.stack[-1].right.high
+                if high_left is not None and (
+                    high_right is None or self.lowpt[high_left] > self.lowpt[high_right]
+                ):
+                    self.ref[parent] = high_left
+                else:
+                    self.ref[parent] = high_right
+
+
+def is_planar(graph_or_edges, num_vertices: Optional[int] = None) -> bool:
+    """Return True if the graph is planar.
+
+    Accepts either a :class:`WeightedGraph` or an iterable of ``(u, v)``
+    edges together with ``num_vertices``.
+    """
+    if isinstance(graph_or_edges, WeightedGraph):
+        edges = [(u, v) for u, v, _ in graph_or_edges.edges()]
+        n = graph_or_edges.num_vertices
+    else:
+        if num_vertices is None:
+            raise ValueError("num_vertices is required when passing an edge list")
+        edges = [(u, v) for u, v in graph_or_edges]
+        n = num_vertices
+    return _LRPlanarity(n, edges).is_planar()
+
+
+def is_planar_with_extra_edge(
+    num_vertices: int, edges: List[Edge], extra_edge: Edge
+) -> bool:
+    """Planarity of the graph formed by ``edges`` plus one candidate edge.
+
+    Convenience wrapper used by the PMFG construction loop.
+    """
+    return is_planar(list(edges) + [extra_edge], num_vertices=num_vertices)

@@ -1,0 +1,110 @@
+"""Shortest-path computations on the filtered graph.
+
+DBHT needs all-pairs shortest paths (APSP) on the TMFG/PMFG using the
+*dissimilarity* weights (Line 7 of Algorithm 4).  The filtered graph has
+Theta(n) edges, so running Dijkstra from every source costs
+O(n^2 log n) work, matching what the paper's implementation does.  Each
+single-source computation is independent, which is where the paper gets its
+parallelism; here the sources can optionally be mapped over a backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.weighted_graph import WeightedGraph
+from repro.parallel.scheduler import ParallelBackend, get_backend
+
+
+def dijkstra(graph: WeightedGraph, source: int) -> np.ndarray:
+    """Single-source shortest path distances from ``source``.
+
+    Edge weights must be non-negative.  Unreachable vertices get ``inf``.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    distances = np.full(n, np.inf, dtype=float)
+    distances[source] = 0.0
+    visited = np.zeros(n, dtype=bool)
+    heap = [(0.0, source)]
+    while heap:
+        dist_u, u = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        visited[u] = True
+        for v, weight in graph.neighbors(u):
+            if weight < 0:
+                raise ValueError("Dijkstra requires non-negative edge weights")
+            candidate = dist_u + weight
+            if candidate < distances[v]:
+                distances[v] = candidate
+                heapq.heappush(heap, (candidate, v))
+    return distances
+
+
+def all_pairs_shortest_paths(
+    graph: WeightedGraph,
+    backend: Optional[ParallelBackend] = None,
+    method: str = "dijkstra",
+) -> np.ndarray:
+    """All-pairs shortest path distance matrix of a sparse graph.
+
+    ``method`` selects the implementation:
+
+    * ``"dijkstra"`` (default) — one Dijkstra per source, the algorithm the
+      paper's implementation uses.  Sources are independent; with a thread
+      backend they are dispatched as a parallel map.
+    * ``"scipy"`` — SciPy's C implementation of the same computation
+      (``scipy.sparse.csgraph.shortest_path``).  The paper notes that APSP
+      becomes the bottleneck of PAR-TDBHT and that a faster APSP would
+      directly improve the end-to-end time; this backend quantifies that
+      head-room (see ``benchmarks/bench_ablation_apsp.py``).
+
+    Both methods return exactly the same distances.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros((0, 0))
+    if method == "scipy":
+        return _scipy_apsp(graph)
+    if method != "dijkstra":
+        raise ValueError(f"unknown APSP method {method!r}; expected 'dijkstra' or 'scipy'")
+    backend = get_backend(backend)
+    rows = backend.map(lambda source: dijkstra(graph, source), list(range(n)))
+    return np.vstack(rows)
+
+
+def _scipy_apsp(graph: WeightedGraph) -> np.ndarray:
+    """APSP via scipy.sparse.csgraph (identical distances, C speed)."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import shortest_path
+
+    n = graph.num_vertices
+    rows, cols, data = [], [], []
+    for u, v, weight in graph.edges():
+        # csgraph treats stored zeros as missing edges; clamp to a tiny
+        # positive value so zero-dissimilarity edges stay in the graph.
+        weight = max(float(weight), 1e-12)
+        rows.extend((u, v))
+        cols.extend((v, u))
+        data.extend((weight, weight))
+    sparse = csr_matrix((data, (rows, cols)), shape=(n, n))
+    return shortest_path(sparse, method="D", directed=False)
+
+
+def shortest_paths_from_sources(
+    graph: WeightedGraph,
+    sources,
+    backend: Optional[ParallelBackend] = None,
+) -> np.ndarray:
+    """Distances from a subset of sources (one row per source, in order)."""
+    backend = get_backend(backend)
+    source_list = list(sources)
+    rows = backend.map(lambda source: dijkstra(graph, source), source_list)
+    if not rows:
+        return np.zeros((0, graph.num_vertices))
+    return np.vstack(rows)

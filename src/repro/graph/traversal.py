@@ -1,0 +1,68 @@
+"""Breadth-first search and connected components.
+
+Used by the original (baseline) DBHT direction step, which removes a
+separating triangle and explores both sides with BFS, and by the planarity
+and dataset sanity checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set
+
+from repro.graph.weighted_graph import WeightedGraph
+
+
+def bfs_order(graph: WeightedGraph, source: int, blocked: Optional[Set[int]] = None) -> List[int]:
+    """Vertices reachable from ``source`` in BFS order, avoiding ``blocked``.
+
+    ``source`` itself must not be blocked.
+    """
+    blocked = blocked or set()
+    if source in blocked:
+        raise ValueError("source vertex is blocked")
+    visited = {source}
+    order = [source]
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v, _ in graph.neighbors(u):
+            if v not in visited and v not in blocked:
+                visited.add(v)
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def reachable_set(
+    graph: WeightedGraph, source: int, blocked: Optional[Set[int]] = None
+) -> Set[int]:
+    """Set of vertices reachable from ``source`` avoiding ``blocked``."""
+    return set(bfs_order(graph, source, blocked))
+
+
+def connected_components(
+    graph: WeightedGraph, skip: Optional[Iterable[int]] = None
+) -> List[Set[int]]:
+    """Connected components of the graph, optionally ignoring some vertices.
+
+    Vertices listed in ``skip`` are treated as removed: they appear in no
+    component and edges through them are not followed.
+    """
+    skipped = set(skip or ())
+    seen: Set[int] = set(skipped)
+    components: List[Set[int]] = []
+    for start in range(graph.num_vertices):
+        if start in seen:
+            continue
+        component = reachable_set(graph, start, blocked=skipped)
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def is_connected(graph: WeightedGraph) -> bool:
+    """True if the graph (with at least one vertex) is connected."""
+    if graph.num_vertices == 0:
+        return True
+    return len(bfs_order(graph, 0)) == graph.num_vertices

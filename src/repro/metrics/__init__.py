@@ -1,0 +1,23 @@
+"""Clustering-quality and filtered-graph-quality metrics.
+
+The paper evaluates clustering quality with the Adjusted Rand Index (ARI)
+and Adjusted Mutual Information (AMI), and filtered-graph quality with the
+ratio of kept edge weight relative to the sequential TMFG / PMFG (Fig. 7).
+All metrics are implemented from scratch here.
+"""
+
+from repro.metrics.ami import adjusted_mutual_information, mutual_information, entropy
+from repro.metrics.ari import adjusted_rand_index, rand_index
+from repro.metrics.contingency import contingency_table
+from repro.metrics.edge_sum import edge_weight_sum, edge_weight_sum_ratio
+
+__all__ = [
+    "adjusted_mutual_information",
+    "mutual_information",
+    "entropy",
+    "adjusted_rand_index",
+    "rand_index",
+    "contingency_table",
+    "edge_weight_sum",
+    "edge_weight_sum_ratio",
+]

@@ -1,0 +1,42 @@
+"""Contingency tables between two labelings.
+
+Both the ARI and AMI are computed from the contingency table ``n_ij``: the
+number of objects that are in ground-truth cluster ``i`` and predicted
+cluster ``j``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _encode(labels: Sequence) -> np.ndarray:
+    """Map arbitrary hashable labels to consecutive integers 0..k-1."""
+    labels = np.asarray(labels)
+    _, encoded = np.unique(labels, return_inverse=True)
+    return encoded
+
+
+def contingency_table(
+    labels_true: Sequence, labels_pred: Sequence
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Contingency table and its marginals.
+
+    Returns ``(table, row_sums, col_sums)`` where ``table[i, j]`` counts
+    objects with true label ``i`` and predicted label ``j``.
+    """
+    true = _encode(labels_true)
+    pred = _encode(labels_pred)
+    if true.shape != pred.shape:
+        raise ValueError(
+            f"label arrays must have the same length, got {true.shape} and {pred.shape}"
+        )
+    if true.ndim != 1:
+        raise ValueError("labels must be one-dimensional")
+    n_true = int(true.max()) + 1 if true.size else 0
+    n_pred = int(pred.max()) + 1 if pred.size else 0
+    table = np.zeros((n_true, n_pred), dtype=np.int64)
+    np.add.at(table, (true, pred), 1)
+    return table, table.sum(axis=1), table.sum(axis=0)

@@ -1,0 +1,45 @@
+"""Parallel runtime substrate.
+
+The paper implements its algorithms in C++ with ParlayLib on a 48-core
+shared-memory machine.  Pure Python cannot exploit fine-grained shared-memory
+parallelism because of the GIL, so this package provides two complementary
+substitutes:
+
+* the paper's parallel primitives (Table I) — ``parallel_filter``,
+  ``parallel_sort``, ``parallel_max``, and the priority concurrent writes
+  ``WriteMin``/``WriteMax``/``WriteAdd`` — implemented with correct
+  semantics, optionally executed over a thread pool for coarse-grained work;
+* a work–span cost model (:mod:`repro.parallel.cost_model`) that records the
+  work and span of each algorithm phase and predicts the running time on
+  ``P`` processors as ``W / P + c * S``, which is how the scalability
+  experiments (Fig. 4) are reproduced.
+"""
+
+from repro.parallel.atomics import WriteAdd, WriteMax, WriteMin
+from repro.parallel.cost_model import PhaseCost, WorkSpanTracker, predicted_speedup
+from repro.parallel.primitives import (
+    parallel_filter,
+    parallel_for,
+    parallel_map,
+    parallel_max,
+    parallel_sort,
+)
+from repro.parallel.scheduler import ParallelBackend, SerialBackend, ThreadBackend, get_backend
+
+__all__ = [
+    "WriteAdd",
+    "WriteMax",
+    "WriteMin",
+    "PhaseCost",
+    "WorkSpanTracker",
+    "predicted_speedup",
+    "parallel_filter",
+    "parallel_for",
+    "parallel_map",
+    "parallel_max",
+    "parallel_sort",
+    "ParallelBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_backend",
+]

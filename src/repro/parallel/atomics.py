@@ -1,0 +1,99 @@
+"""Priority concurrent write cells (Table I of the paper).
+
+``WRITE_MIN``, ``WRITE_MAX``, and ``WRITE_ADD`` are concurrent-write
+primitives: many workers may write to the same cell and the cell keeps,
+respectively, the smallest value, the largest value, or the running sum.
+The paper assumes each takes constant work and span.
+
+The cells here are thread-safe (a per-cell lock) so they behave correctly
+when used from the thread-pool backend, and they are trivially correct when
+used sequentially.  Values may be any totally-ordered objects; the DBHT code
+uses tuples such as ``(score, bubble_id)`` so that ties are broken
+deterministically by the second component.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class _Cell(Generic[T]):
+    """Base class holding a value and a lock."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, initial: T) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> T:
+        """Current value stored in the cell."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self._value!r})"
+
+
+class WriteMin(_Cell[T]):
+    """Cell keeping the smallest value written to it."""
+
+    def write(self, value: T) -> bool:
+        """Write ``value``; keep it only if it is smaller than the current value.
+
+        Returns ``True`` if the write took effect.
+        """
+        with self._lock:
+            if value < self._value:
+                self._value = value
+                return True
+            return False
+
+
+class WriteMax(_Cell[T]):
+    """Cell keeping the largest value written to it."""
+
+    def write(self, value: T) -> bool:
+        """Write ``value``; keep it only if it is larger than the current value.
+
+        Returns ``True`` if the write took effect.
+        """
+        with self._lock:
+            if value > self._value:
+                self._value = value
+                return True
+            return False
+
+
+class WriteAdd(_Cell[float]):
+    """Cell accumulating the sum of all values written to it."""
+
+    def __init__(self, initial: float = 0.0) -> None:
+        super().__init__(initial)
+
+    def write(self, value: float) -> float:
+        """Atomically add ``value`` and return the new total."""
+        with self._lock:
+            self._value += value
+            return self._value
+
+
+def write_min_array(cells: list, index: int, value: Any) -> bool:
+    """Convenience helper mirroring ``WRITE_MIN(location, value)`` on an array of cells."""
+    cell: WriteMin = cells[index]
+    return cell.write(value)
+
+
+def write_max_array(cells: list, index: int, value: Any) -> bool:
+    """Convenience helper mirroring ``WRITE_MAX(location, value)`` on an array of cells."""
+    cell: WriteMax = cells[index]
+    return cell.write(value)
+
+
+def write_add_array(cells: list, index: int, value: float) -> float:
+    """Convenience helper mirroring ``WRITE_ADD(location, value)`` on an array of cells."""
+    cell: WriteAdd = cells[index]
+    return cell.write(value)

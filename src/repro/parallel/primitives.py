@@ -1,0 +1,116 @@
+"""The paper's parallel primitives (Table I).
+
+Each primitive has well-defined sequential semantics (which is what the unit
+tests check) and can optionally execute over a :class:`ParallelBackend`.
+The asymptotic costs quoted in the paper are recorded with the
+:class:`~repro.parallel.cost_model.WorkSpanTracker` by the callers in
+:mod:`repro.core`, not here, because the interesting work/span accounting is
+per algorithm phase.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.parallel.scheduler import ParallelBackend, get_backend
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_filter(
+    items: Sequence[T],
+    predicate: Callable[[T], bool],
+    backend: Optional[ParallelBackend] = None,
+) -> List[T]:
+    """Return the items satisfying ``predicate``, preserving input order.
+
+    Matches the paper's Filter primitive: O(n) work, O(log n) span.
+    """
+    backend = get_backend(backend)
+    flags = backend.map(predicate, items)
+    return [item for item, keep in zip(items, flags) if keep]
+
+
+def parallel_map(
+    items: Sequence[T],
+    func: Callable[[T], R],
+    backend: Optional[ParallelBackend] = None,
+) -> List[R]:
+    """Apply ``func`` to every item, returning results in input order."""
+    backend = get_backend(backend)
+    return backend.map(func, items)
+
+
+def parallel_for(
+    items: Sequence[T],
+    func: Callable[[T], None],
+    backend: Optional[ParallelBackend] = None,
+) -> None:
+    """Run ``func`` on every item for its side effects."""
+    backend = get_backend(backend)
+    backend.for_each(func, items)
+
+
+def parallel_sort(
+    items: Sequence[T],
+    key: Optional[Callable[[T], object]] = None,
+    reverse: bool = False,
+) -> List[T]:
+    """Stable sort of ``items``.
+
+    The paper's Sort primitive is O(n log n) work and O(log n) span;
+    here we rely on Timsort, which is the right sequential substitute and is
+    stable (the algorithms rely on stability for deterministic tie-breaks).
+    """
+    return sorted(items, key=key, reverse=reverse)
+
+
+def parallel_max(
+    items: Sequence[T],
+    key: Optional[Callable[[T], object]] = None,
+    backend: Optional[ParallelBackend] = None,
+) -> T:
+    """Return the maximum element of ``items`` (O(n) work, O(1) span w.h.p.).
+
+    Ties are broken in favour of the earliest element, which makes the
+    prefix-1 TMFG deterministic.
+    """
+    if len(items) == 0:
+        raise ValueError("parallel_max() arg is an empty sequence")
+    backend = get_backend(backend)
+    if backend.num_workers <= 1 or len(items) < 1024:
+        return _sequential_max(items, key)
+    chunk_size = int(math.ceil(len(items) / backend.num_workers))
+    chunks = [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+    partial = backend.map(lambda chunk: _sequential_max(chunk, key), chunks)
+    return _sequential_max(partial, key)
+
+
+def _sequential_max(items: Sequence[T], key: Optional[Callable[[T], object]]) -> T:
+    best = items[0]
+    best_key = key(best) if key is not None else best
+    for item in items[1:]:
+        item_key = key(item) if key is not None else item
+        if item_key > best_key:
+            best = item
+            best_key = item_key
+    return best
+
+
+def parallel_top_k(
+    items: Sequence[T],
+    k: int,
+    key: Optional[Callable[[T], object]] = None,
+) -> List[T]:
+    """Return the ``k`` largest items in non-increasing order.
+
+    Used by the prefix-batched TMFG (Line 9 of Algorithm 1), where the paper
+    sorts the gains array and takes a prefix.  ``k >= len(items)`` returns a
+    full descending sort.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    ordered = parallel_sort(items, key=key, reverse=True)
+    return ordered[:k]

@@ -1,0 +1,94 @@
+"""Execution backends for the parallel primitives.
+
+The algorithms in :mod:`repro.core` are written against an abstract
+``ParallelBackend`` so that the same code can run
+
+* serially (the default, and fastest option in CPython for fine-grained
+  loops), or
+* over a thread pool, which gives genuine concurrency for coarse-grained
+  work that releases the GIL (large numpy reductions) and, more importantly,
+  exercises the concurrent-write primitives the way the paper's algorithms
+  use them.
+
+A module-level default backend can be set with :func:`set_backend`; code that
+does not care simply calls :func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelBackend:
+    """Interface for executing independent tasks.
+
+    Subclasses implement :meth:`map`.  ``num_workers`` reports the degree of
+    parallelism the backend exposes (1 for the serial backend), which the
+    cost model uses when predicting running times.
+    """
+
+    num_workers: int = 1
+
+    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``func`` to every item and return the results in order."""
+        raise NotImplementedError
+
+    def for_each(self, func: Callable[[T], None], items: Sequence[T]) -> None:
+        """Apply ``func`` to every item for its side effects."""
+        self.map(func, items)
+
+    def close(self) -> None:
+        """Release any resources held by the backend."""
+
+
+class SerialBackend(ParallelBackend):
+    """Run everything in the calling thread (deterministic order)."""
+
+    num_workers = 1
+
+    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [func(item) for item in items]
+
+
+class ThreadBackend(ParallelBackend):
+    """Run tasks on a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+    Tasks must be thread-safe; the core algorithms only use this backend for
+    independent per-item work combined with the atomic cells in
+    :mod:`repro.parallel.atomics`.
+    """
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        self._pool = ThreadPoolExecutor(max_workers=num_workers)
+
+    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if len(items) <= 1:
+            return [func(item) for item in items]
+        return list(self._pool.map(func, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+_DEFAULT_BACKEND: ParallelBackend = SerialBackend()
+
+
+def set_backend(backend: ParallelBackend) -> None:
+    """Install ``backend`` as the process-wide default."""
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
+
+
+def get_backend(backend: Optional[ParallelBackend] = None) -> ParallelBackend:
+    """Return ``backend`` if given, otherwise the process-wide default."""
+    return backend if backend is not None else _DEFAULT_BACKEND

@@ -1,0 +1,127 @@
+"""Tests for the original (generic planar graph) DBHT baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.classic_dbht import (
+    build_bubble_tree_from_graph,
+    classic_dbht,
+    direct_edges_bfs,
+    pmfg_dbht,
+)
+from repro.core.direction import compute_directions
+from repro.core.tmfg import construct_tmfg
+from repro.datasets.similarity import similarity_and_dissimilarity
+from repro.datasets.synthetic import make_time_series_dataset
+from repro.metrics.ari import adjusted_rand_index
+
+from tests.conftest import random_similarity_matrix
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return make_time_series_dataset(
+        num_objects=40, length=40, num_classes=3, noise=1.0, seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_matrices(tiny_dataset):
+    return similarity_and_dissimilarity(tiny_dataset.data)
+
+
+class TestGenericBubbleTree:
+    def test_matches_tmfg_bubble_count(self, tiny_matrices):
+        similarity, _ = tiny_matrices
+        tmfg = construct_tmfg(similarity, prefix=1)
+        generic = build_bubble_tree_from_graph(tmfg.graph)
+        # A TMFG on n vertices has exactly n-3 bubbles.
+        assert generic.num_bubbles == similarity.shape[0] - 3
+
+    def test_bubble_vertex_sets_match_tmfg_bubbles(self, tiny_matrices):
+        similarity, _ = tiny_matrices
+        tmfg = construct_tmfg(similarity, prefix=1)
+        generic = build_bubble_tree_from_graph(tmfg.graph)
+        expected = {frozenset(b.vertices) for b in tmfg.bubble_tree.bubbles}
+        actual = set(generic.bubbles)
+        assert actual == expected
+
+    def test_tree_has_right_number_of_edges(self, tiny_matrices):
+        similarity, _ = tiny_matrices
+        tmfg = construct_tmfg(similarity, prefix=1)
+        generic = build_bubble_tree_from_graph(tmfg.graph)
+        assert len(generic.edges) == generic.num_bubbles - 1
+
+    def test_separating_triangles_match_tmfg(self, tiny_matrices):
+        similarity, _ = tiny_matrices
+        tmfg = construct_tmfg(similarity, prefix=1)
+        generic = build_bubble_tree_from_graph(tmfg.graph)
+        expected = set()
+        for bubble in tmfg.bubble_tree.bubbles:
+            if bubble.parent is not None:
+                expected.add(tmfg.bubble_tree.separating_triangle(bubble.id))
+        actual = {triangle for _, _, triangle in generic.edges}
+        assert actual == expected
+
+    def test_single_bubble_for_4_clique(self):
+        similarity = random_similarity_matrix(4, seed=0)
+        tmfg = construct_tmfg(similarity, prefix=1)
+        generic = build_bubble_tree_from_graph(tmfg.graph)
+        assert generic.num_bubbles == 1
+        assert generic.edges == []
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.weighted_graph import WeightedGraph
+
+        with pytest.raises(ValueError):
+            build_bubble_tree_from_graph(WeightedGraph(5))
+
+
+class TestGenericDirections:
+    def test_same_converging_bubbles_as_fast_algorithm(self, tiny_matrices):
+        similarity, _ = tiny_matrices
+        tmfg = construct_tmfg(similarity, prefix=1)
+        fast_directions = compute_directions(tmfg.bubble_tree, tmfg.graph)
+        fast_converging = {
+            frozenset(tmfg.bubble_tree.bubble(b).vertices)
+            for b in fast_directions.converging_bubbles(tmfg.bubble_tree)
+        }
+        generic = build_bubble_tree_from_graph(tmfg.graph)
+        slow_directions = direct_edges_bfs(generic, tmfg.graph)
+        slow_converging = {
+            generic.bubbles[b] for b in slow_directions.converging_bubbles(generic)
+        }
+        assert fast_converging == slow_converging
+
+    def test_every_bubble_reaches_converging(self, tiny_matrices):
+        similarity, _ = tiny_matrices
+        tmfg = construct_tmfg(similarity, prefix=1)
+        generic = build_bubble_tree_from_graph(tmfg.graph)
+        directions = direct_edges_bfs(generic, tmfg.graph)
+        reach = directions.reachable_converging_bubbles(generic)
+        assert all(reach[b] for b in range(generic.num_bubbles))
+
+
+class TestEndToEnd:
+    def test_classic_dbht_on_tmfg_graph(self, tiny_dataset, tiny_matrices):
+        similarity, dissimilarity = tiny_matrices
+        tmfg = construct_tmfg(similarity, prefix=1)
+        result = classic_dbht(tmfg.graph, dissimilarity)
+        assert result.dendrogram.is_complete
+        labels = result.cut(tiny_dataset.num_classes)
+        assert adjusted_rand_index(tiny_dataset.labels, labels) > 0.4
+
+    def test_pmfg_dbht_end_to_end(self, tiny_dataset, tiny_matrices):
+        similarity, dissimilarity = tiny_matrices
+        result = pmfg_dbht(similarity, dissimilarity)
+        assert result.dendrogram.is_complete
+        assert result.dendrogram.heights_monotone()
+        labels = result.cut(tiny_dataset.num_classes)
+        assert adjusted_rand_index(tiny_dataset.labels, labels) > 0.4
+
+    def test_pmfg_dbht_derives_dissimilarity(self, tiny_matrices):
+        similarity, _ = tiny_matrices
+        result = pmfg_dbht(similarity)
+        assert result.dendrogram.is_complete

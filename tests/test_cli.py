@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import FIGURE_ENTRY_POINTS, build_parser, main
+from repro.datasets.synthetic import make_time_series_dataset
+
+
+@pytest.fixture
+def data_csv(tmp_path):
+    dataset = make_time_series_dataset(30, 40, 3, noise=0.8, seed=2)
+    path = tmp_path / "series.csv"
+    np.savetxt(path, dataset.data, delimiter=",")
+    return path, dataset
+
+
+class TestClusterCommand:
+    def test_writes_labels_file(self, data_csv, tmp_path, capsys):
+        path, dataset = data_csv
+        out = tmp_path / "labels.txt"
+        exit_code = main(
+            ["cluster", str(path), "--clusters", "3", "--prefix", "2", "--out", str(out)]
+        )
+        assert exit_code == 0
+        labels = np.loadtxt(out, dtype=int)
+        assert labels.shape == (30,)
+        assert len(np.unique(labels)) == 3
+
+    def test_prints_labels_without_out(self, data_csv, capsys):
+        path, _ = data_csv
+        assert main(["cluster", str(path), "--clusters", "2"]) == 0
+        captured = capsys.readouterr().out
+        assert "clusters: 2" in captured
+
+    def test_newick_export(self, data_csv, tmp_path):
+        path, _ = data_csv
+        newick_path = tmp_path / "tree.nwk"
+        main(
+            [
+                "cluster",
+                str(path),
+                "--clusters",
+                "3",
+                "--newick",
+                str(newick_path),
+            ]
+        )
+        text = newick_path.read_text()
+        assert text.strip().endswith(";")
+        assert text.count("(") == text.count(")")
+
+    def test_npy_input_and_precomputed_similarity(self, tmp_path):
+        rng = np.random.default_rng(0)
+        raw = rng.uniform(0, 1, size=(12, 12))
+        similarity = (raw + raw.T) / 2
+        np.fill_diagonal(similarity, 1.0)
+        path = tmp_path / "similarity.npy"
+        np.save(path, similarity)
+        assert main(["cluster", str(path), "--clusters", "2", "--precomputed"]) == 0
+
+    def test_invalid_input_shape_rejected(self, tmp_path):
+        path = tmp_path / "one_dim.csv"
+        np.savetxt(path, np.arange(5.0), delimiter=",")
+        with pytest.raises(ValueError):
+            main(["cluster", str(path), "--clusters", "2"])
+
+
+class TestFigureCommand:
+    def test_list_figures(self, capsys):
+        assert main(["list-figures"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(FIGURE_ENTRY_POINTS)
+
+    def test_appendix_figure_runs(self, capsys):
+        assert main(["figure", "appendix"]) == 0
+        assert "Appendix" in capsys.readouterr().out
+
+    def test_unknown_figure_returns_error(self, capsys):
+        assert main(["figure", "does-not-exist"]) == 2
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,112 @@
+"""Tests for the local-file data loaders (UCR TSV format, price CSV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_price_csv, load_ucr_tsv
+
+
+def _write_ucr(path, labels, data, sep="\t"):
+    with open(path, "w", encoding="utf-8") as handle:
+        for label, row in zip(labels, data):
+            handle.write(sep.join([str(label)] + [f"{v:.6f}" for v in row]) + "\n")
+
+
+class TestLoadUcrTsv:
+    def test_reads_labels_and_series(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(12, 20))
+        labels = [1, 2, 3] * 4
+        path = tmp_path / "Toy_TRAIN.tsv"
+        _write_ucr(path, labels, data)
+        dataset = load_ucr_tsv(str(path))
+        assert dataset.data.shape == (12, 20)
+        assert dataset.num_classes == 3
+        assert set(np.unique(dataset.labels)) == {0, 1, 2}
+        assert dataset.name == "Toy"
+
+    def test_concatenates_train_and_test(self, tmp_path):
+        rng = np.random.default_rng(1)
+        train = rng.normal(size=(5, 8))
+        test = rng.normal(size=(7, 8))
+        train_path = tmp_path / "Toy_TRAIN.tsv"
+        test_path = tmp_path / "Toy_TEST.tsv"
+        _write_ucr(train_path, [0] * 5, train)
+        _write_ucr(test_path, [1] * 7, test)
+        dataset = load_ucr_tsv(str(train_path), test_path=str(test_path))
+        assert dataset.num_objects == 12
+        np.testing.assert_allclose(dataset.data[:5], train, atol=1e-5)
+
+    def test_comma_separated_files_are_detected(self, tmp_path):
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        path = tmp_path / "toy.csv"
+        _write_ucr(path, [0, 0, 1], data, sep=",")
+        dataset = load_ucr_tsv(str(path))
+        assert dataset.data.shape == (3, 4)
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("0\t1.0\t2.0\n")
+            handle.write("1\t1.0\n")
+        with pytest.raises(ValueError):
+            load_ucr_tsv(str(path))
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\tx\ty\n")
+        with pytest.raises(ValueError):
+            load_ucr_tsv(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("\n")
+        with pytest.raises(ValueError):
+            load_ucr_tsv(str(path))
+
+    def test_train_test_length_mismatch_rejected(self, tmp_path):
+        train_path = tmp_path / "a.tsv"
+        test_path = tmp_path / "b.tsv"
+        _write_ucr(train_path, [0], np.zeros((1, 4)))
+        _write_ucr(test_path, [0], np.zeros((1, 5)))
+        with pytest.raises(ValueError):
+            load_ucr_tsv(str(train_path), test_path=str(test_path))
+
+    def test_pipeline_runs_on_loaded_data(self, tmp_path):
+        from repro import tmfg_dbht
+        from repro.datasets.similarity import similarity_and_dissimilarity
+        from repro.datasets.synthetic import make_time_series_dataset
+
+        source = make_time_series_dataset(25, 30, 2, noise=0.8, seed=3)
+        path = tmp_path / "Synthetic_TRAIN.tsv"
+        _write_ucr(path, source.labels.tolist(), source.data)
+        dataset = load_ucr_tsv(str(path))
+        similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
+        result = tmfg_dbht(similarity, dissimilarity, prefix=2)
+        assert result.dendrogram.num_leaves == 25
+
+
+class TestLoadPriceCsv:
+    def test_reads_matrix(self, tmp_path):
+        prices = np.abs(np.random.default_rng(0).normal(50, 5, size=(4, 10))) + 1
+        path = tmp_path / "prices.csv"
+        np.savetxt(path, prices, delimiter=",")
+        loaded = load_price_csv(str(path))
+        np.testing.assert_allclose(loaded, prices, rtol=1e-6)
+
+    def test_transposes_when_stocks_in_columns(self, tmp_path):
+        prices = np.abs(np.random.default_rng(1).normal(50, 5, size=(10, 4))) + 1
+        path = tmp_path / "prices.csv"
+        np.savetxt(path, prices, delimiter=",")
+        loaded = load_price_csv(str(path), stocks_in_rows=False)
+        assert loaded.shape == (4, 10)
+
+    def test_non_positive_prices_rejected(self, tmp_path):
+        prices = np.ones((3, 5))
+        prices[1, 2] = 0.0
+        path = tmp_path / "prices.csv"
+        np.savetxt(path, prices, delimiter=",")
+        with pytest.raises(ValueError):
+            load_price_csv(str(path))

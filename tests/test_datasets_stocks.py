@@ -1,0 +1,85 @@
+"""Tests for the synthetic stock market generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.similarity import correlation_matrix, detrended_log_returns
+from repro.datasets.stocks import (
+    ICB_INDUSTRIES,
+    cluster_sector_counts,
+    generate_stock_market,
+    market_cap_by_group,
+)
+
+
+@pytest.fixture(scope="module")
+def market():
+    return generate_stock_market(num_stocks=120, num_days=200, seed=3)
+
+
+class TestGenerator:
+    def test_shapes(self, market):
+        assert market.prices.shape == (120, 200)
+        assert market.sectors.shape == (120,)
+        assert market.market_caps.shape == (120,)
+        assert len(market.tickers) == 120
+
+    def test_eleven_sectors_all_present(self, market):
+        assert len(ICB_INDUSTRIES) == 11
+        assert set(np.unique(market.sectors)) == set(range(11))
+
+    def test_prices_are_positive(self, market):
+        assert np.all(market.prices > 0)
+
+    def test_market_caps_are_positive(self, market):
+        assert np.all(market.market_caps > 0)
+
+    def test_deterministic_for_seed(self):
+        a = generate_stock_market(num_stocks=60, num_days=100, seed=7)
+        b = generate_stock_market(num_stocks=60, num_days=100, seed=7)
+        np.testing.assert_array_equal(a.prices, b.prices)
+        np.testing.assert_array_equal(a.sectors, b.sectors)
+
+    def test_too_few_stocks_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stock_market(num_stocks=10, num_days=100)
+
+    def test_sector_name_lookup(self, market):
+        assert market.sector_name(0) in {name for _, name in ICB_INDUSTRIES}
+
+    def test_intra_sector_correlation_exceeds_inter_sector(self, market):
+        returns = detrended_log_returns(market.prices)
+        correlation = correlation_matrix(returns)
+        same = []
+        different = []
+        for i in range(0, 120, 2):
+            for j in range(i + 1, 120, 2):
+                if market.sectors[i] == market.sectors[j]:
+                    same.append(correlation[i, j])
+                else:
+                    different.append(correlation[i, j])
+        assert np.mean(same) > np.mean(different) + 0.05
+
+
+class TestAnalysisHelpers:
+    def test_cluster_sector_counts_shape(self, market):
+        labels = np.arange(120) % 5
+        counts = cluster_sector_counts(labels, market.sectors)
+        assert counts.shape == (5, 11)
+        assert counts.sum() == 120
+
+    def test_cluster_sector_counts_mismatched_lengths_rejected(self, market):
+        with pytest.raises(ValueError):
+            cluster_sector_counts([0, 1], market.sectors)
+
+    def test_market_cap_by_group_partitions_all_stocks(self, market):
+        groups = market_cap_by_group(market.market_caps, market.sectors)
+        assert sum(len(values) for values in groups.values()) == 120
+
+    def test_market_cap_by_group_values_match(self, market):
+        groups = market_cap_by_group(market.market_caps, market.sectors)
+        for sector, caps in groups.items():
+            expected = market.market_caps[market.sectors == sector]
+            np.testing.assert_array_equal(np.sort(caps), np.sort(expected))

@@ -1,0 +1,108 @@
+"""Tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.similarity import correlation_matrix
+from repro.datasets.synthetic import make_gaussian_blobs, make_time_series_dataset
+
+
+class TestTimeSeriesGenerator:
+    def test_shapes_and_labels(self):
+        dataset = make_time_series_dataset(50, 64, 4, seed=0)
+        assert dataset.data.shape == (50, 64)
+        assert dataset.labels.shape == (50,)
+        assert dataset.num_classes == 4
+
+    def test_deterministic_for_seed(self):
+        a = make_time_series_dataset(30, 32, 3, seed=5)
+        b = make_time_series_dataset(30, 32, 3, seed=5)
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_time_series_dataset(30, 32, 3, seed=5)
+        b = make_time_series_dataset(30, 32, 3, seed=6)
+        assert not np.allclose(a.data, b.data)
+
+    def test_classes_are_balanced(self):
+        dataset = make_time_series_dataset(40, 32, 4, seed=1)
+        _, counts = np.unique(dataset.labels, return_counts=True)
+        assert counts.tolist() == [10, 10, 10, 10]
+
+    def test_within_class_correlation_exceeds_between_class(self):
+        dataset = make_time_series_dataset(60, 128, 3, noise=0.8, seed=2)
+        correlation = correlation_matrix(dataset.data)
+        same = []
+        different = []
+        for i in range(60):
+            for j in range(i + 1, 60):
+                if dataset.labels[i] == dataset.labels[j]:
+                    same.append(correlation[i, j])
+                else:
+                    different.append(correlation[i, j])
+        assert np.mean(same) > np.mean(different) + 0.2
+
+    def test_noise_reduces_within_class_correlation(self):
+        quiet = make_time_series_dataset(40, 128, 2, noise=0.2, seed=3)
+        noisy = make_time_series_dataset(40, 128, 2, noise=3.0, seed=3)
+
+        def mean_same_class_correlation(dataset):
+            correlation = correlation_matrix(dataset.data)
+            values = [
+                correlation[i, j]
+                for i in range(40)
+                for j in range(i + 1, 40)
+                if dataset.labels[i] == dataset.labels[j]
+            ]
+            return float(np.mean(values))
+
+        assert mean_same_class_correlation(quiet) > mean_same_class_correlation(noisy)
+
+    def test_outliers_added(self):
+        clean = make_time_series_dataset(50, 64, 2, noise=0.5, seed=9)
+        with_outliers = make_time_series_dataset(
+            50, 64, 2, noise=0.5, seed=9, outlier_fraction=0.1, outlier_scale=5.0
+        )
+        # Outlier rows have larger variance than the corresponding clean rows.
+        assert with_outliers.data.var() > clean.data.var()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_time_series_dataset(3, 32, 4)
+        with pytest.raises(ValueError):
+            make_time_series_dataset(10, 32, 0)
+        with pytest.raises(ValueError):
+            make_time_series_dataset(10, 32, 2, outlier_fraction=1.5)
+
+
+class TestBlobs:
+    def test_shapes(self):
+        dataset = make_gaussian_blobs(30, 5, 3, seed=0)
+        assert dataset.data.shape == (30, 5)
+        assert dataset.num_classes == 3
+
+    def test_separation_controls_difficulty(self):
+        near = make_gaussian_blobs(60, 3, 3, separation=0.1, noise=1.0, seed=1)
+        far = make_gaussian_blobs(60, 3, 3, separation=20.0, noise=1.0, seed=1)
+
+        def average_center_distance(dataset):
+            centers = [
+                dataset.data[dataset.labels == label].mean(axis=0)
+                for label in range(3)
+            ]
+            total = 0.0
+            count = 0
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    total += np.linalg.norm(centers[i] - centers[j])
+                    count += 1
+            return total / count
+
+        assert average_center_distance(far) > average_center_distance(near)
+
+    def test_rejects_more_classes_than_objects(self):
+        with pytest.raises(ValueError):
+            make_gaussian_blobs(2, 3, 5)

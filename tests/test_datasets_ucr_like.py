@@ -1,0 +1,62 @@
+"""Tests for the UCR-like data-set registry (Table II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ucr_like import UCR_LIKE_SPECS, list_dataset_ids, load_ucr_like
+
+
+class TestRegistry:
+    def test_has_all_18_datasets(self):
+        assert list_dataset_ids() == list(range(1, 19))
+
+    def test_table2_values_for_known_rows(self):
+        assert UCR_LIKE_SPECS[6].name == "ECG5000"
+        assert UCR_LIKE_SPECS[6].num_objects == 5000
+        assert UCR_LIKE_SPECS[6].num_classes == 5
+        assert UCR_LIKE_SPECS[17].name == "Crop"
+        assert UCR_LIKE_SPECS[17].num_objects == 19412
+        assert UCR_LIKE_SPECS[14].num_classes == 60
+
+    def test_total_dataset_count_matches_paper(self):
+        assert len(UCR_LIKE_SPECS) == 18
+
+
+class TestLoading:
+    def test_scale_reduces_size(self):
+        full_spec = UCR_LIKE_SPECS[6]
+        dataset = load_ucr_like(6, scale=0.05)
+        assert dataset.num_objects < full_spec.num_objects
+        assert dataset.num_objects >= 4 * full_spec.num_classes
+
+    def test_class_count_is_preserved(self):
+        for dataset_id in (1, 6, 14):
+            dataset = load_ucr_like(dataset_id, scale=0.05)
+            assert dataset.num_classes == UCR_LIKE_SPECS[dataset_id].num_classes
+
+    def test_name_is_preserved(self):
+        assert load_ucr_like(11, scale=0.2).name == "CBF"
+
+    def test_deterministic_by_default(self):
+        a = load_ucr_like(6, scale=0.03)
+        b = load_ucr_like(6, scale=0.03)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_custom_seed_changes_data(self):
+        a = load_ucr_like(6, scale=0.03, seed=1)
+        b = load_ucr_like(6, scale=0.03, seed=2)
+        assert not np.allclose(a.data, b.data)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            load_ucr_like(99)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_ucr_like(6, scale=0.0)
+
+    def test_minimum_length_enforced(self):
+        dataset = load_ucr_like(17, scale=0.01)  # Crop has L=46; 1% would be < 1
+        assert dataset.data.shape[1] >= 32

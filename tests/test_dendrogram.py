@@ -1,0 +1,173 @@
+"""Tests for the dendrogram data structure, cutting, and linkage conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dendrogram.cut import cut_height, cut_k
+from repro.dendrogram.linkage import dendrogram_from_linkage, to_linkage_matrix
+from repro.dendrogram.node import Dendrogram
+
+
+@pytest.fixture
+def chain_dendrogram():
+    """Four leaves merged as ((0,1),(2,3)) then together."""
+    dendrogram = Dendrogram(4)
+    a = dendrogram.merge(0, 1, height=1.0)
+    b = dendrogram.merge(2, 3, height=2.0)
+    dendrogram.merge(a, b, height=3.0)
+    return dendrogram
+
+
+class TestDendrogram:
+    def test_requires_at_least_one_leaf(self):
+        with pytest.raises(ValueError):
+            Dendrogram(0)
+
+    def test_merge_creates_sequential_ids(self, chain_dendrogram):
+        assert chain_dendrogram.num_nodes == 7
+        assert chain_dendrogram.root == 6
+
+    def test_merge_tracks_sizes(self, chain_dendrogram):
+        assert chain_dendrogram.node(4).size == 2
+        assert chain_dendrogram.node(6).size == 4
+
+    def test_merge_rejects_self_merge(self):
+        dendrogram = Dendrogram(2)
+        with pytest.raises(ValueError):
+            dendrogram.merge(0, 0, height=1.0)
+
+    def test_merge_rejects_unknown_node(self):
+        dendrogram = Dendrogram(2)
+        with pytest.raises(IndexError):
+            dendrogram.merge(0, 5, height=1.0)
+
+    def test_root_requires_completeness(self):
+        dendrogram = Dendrogram(3)
+        dendrogram.merge(0, 1, height=1.0)
+        with pytest.raises(ValueError):
+            _ = dendrogram.root
+
+    def test_leaves_under(self, chain_dendrogram):
+        assert sorted(chain_dendrogram.leaves_under(4)) == [0, 1]
+        assert sorted(chain_dendrogram.leaves_under(6)) == [0, 1, 2, 3]
+        assert chain_dendrogram.leaves_under(2) == [2]
+
+    def test_parent_map(self, chain_dendrogram):
+        parents = chain_dendrogram.parent_map()
+        assert parents[0] == 4
+        assert parents[4] == 6
+        assert 6 not in parents
+
+    def test_heights_monotone_detects_violation(self):
+        dendrogram = Dendrogram(3)
+        a = dendrogram.merge(0, 1, height=5.0)
+        dendrogram.merge(a, 2, height=1.0)
+        assert not dendrogram.heights_monotone()
+
+    def test_set_height(self, chain_dendrogram):
+        chain_dendrogram.set_height(6, 10.0)
+        assert chain_dendrogram.node(6).height == 10.0
+
+    def test_single_leaf_is_complete(self):
+        assert Dendrogram(1).is_complete
+
+    def test_metadata_is_stored(self):
+        dendrogram = Dendrogram(2)
+        node = dendrogram.merge(0, 1, height=1.0, level="intra", group=3)
+        assert dendrogram.node(node).metadata == {"level": "intra", "group": 3}
+
+
+class TestCutK:
+    def test_cut_into_two(self, chain_dendrogram):
+        labels = cut_k(chain_dendrogram, 2)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_cut_into_one(self, chain_dendrogram):
+        labels = cut_k(chain_dendrogram, 1)
+        assert len(np.unique(labels)) == 1
+
+    def test_cut_into_all_leaves(self, chain_dendrogram):
+        labels = cut_k(chain_dendrogram, 4)
+        assert len(np.unique(labels)) == 4
+
+    def test_cut_more_than_leaves_clamps(self, chain_dendrogram):
+        labels = cut_k(chain_dendrogram, 10)
+        assert len(np.unique(labels)) == 4
+
+    def test_cut_three_splits_higher_subtree_first(self, chain_dendrogram):
+        labels = cut_k(chain_dendrogram, 3)
+        # The (2,3) subtree has height 2 > 1, so it is split first.
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[3]
+
+    def test_invalid_k_rejected(self, chain_dendrogram):
+        with pytest.raises(ValueError):
+            cut_k(chain_dendrogram, 0)
+
+    def test_incomplete_dendrogram_rejected(self):
+        dendrogram = Dendrogram(3)
+        dendrogram.merge(0, 1, height=1.0)
+        with pytest.raises(ValueError):
+            cut_k(dendrogram, 2)
+
+    def test_number_of_clusters_always_matches(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            n = int(rng.integers(5, 30))
+            dendrogram = Dendrogram(n)
+            active = list(range(n))
+            while len(active) > 1:
+                i, j = rng.choice(len(active), size=2, replace=False)
+                a, b = active[i], active[j]
+                new = dendrogram.merge(a, b, height=float(rng.uniform(0, 10)))
+                active = [x for x in active if x not in (a, b)] + [new]
+            for k in (1, 2, 3, n):
+                assert len(np.unique(cut_k(dendrogram, k))) == min(k, n)
+
+
+class TestCutHeight:
+    def test_cut_between_levels(self, chain_dendrogram):
+        labels = cut_height(chain_dendrogram, 2.5)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_cut_below_everything_gives_singletons(self, chain_dendrogram):
+        labels = cut_height(chain_dendrogram, 0.5)
+        assert len(np.unique(labels)) == 4
+
+    def test_cut_above_everything_gives_one_cluster(self, chain_dendrogram):
+        labels = cut_height(chain_dendrogram, 100.0)
+        assert len(np.unique(labels)) == 1
+
+
+class TestLinkageConversion:
+    def test_round_trip(self, chain_dendrogram):
+        linkage = to_linkage_matrix(chain_dendrogram)
+        rebuilt = dendrogram_from_linkage(linkage)
+        assert rebuilt.num_leaves == 4
+        np.testing.assert_array_equal(
+            cut_k(rebuilt, 2), cut_k(chain_dendrogram, 2)
+        )
+
+    def test_linkage_shape(self, chain_dendrogram):
+        linkage = to_linkage_matrix(chain_dendrogram)
+        assert linkage.shape == (3, 4)
+        assert linkage[-1, 3] == 4  # root size
+
+    def test_incomplete_rejected(self):
+        dendrogram = Dendrogram(3)
+        with pytest.raises(ValueError):
+            to_linkage_matrix(dendrogram)
+
+    def test_invalid_linkage_shape_rejected(self):
+        with pytest.raises(ValueError):
+            dendrogram_from_linkage(np.zeros((2, 3)))
+
+    def test_single_leaf_linkage_is_empty(self):
+        dendrogram = Dendrogram(1)
+        assert to_linkage_matrix(dendrogram).shape == (0, 4)

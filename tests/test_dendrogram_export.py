@@ -1,0 +1,113 @@
+"""Tests for dendrogram export utilities (Newick, cophenetic distances)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.cluster.hierarchy import cophenet, linkage as scipy_linkage
+from scipy.spatial.distance import squareform
+
+from repro.baselines.hac import hac_dendrogram
+from repro.dendrogram.export import (
+    cluster_membership_table,
+    cophenetic_correlation,
+    cophenetic_distances,
+    to_newick,
+)
+from repro.dendrogram.node import Dendrogram
+
+
+@pytest.fixture
+def small_tree():
+    dendrogram = Dendrogram(4)
+    a = dendrogram.merge(0, 1, height=1.0)
+    b = dendrogram.merge(2, 3, height=2.0)
+    dendrogram.merge(a, b, height=3.0)
+    return dendrogram
+
+
+class TestNewick:
+    def test_contains_all_leaves(self, small_tree):
+        newick = to_newick(small_tree)
+        for leaf in range(4):
+            assert f"L{leaf}" in newick
+        assert newick.endswith(";")
+
+    def test_custom_leaf_names(self, small_tree):
+        newick = to_newick(small_tree, leaf_names=["a", "b", "c", "d"])
+        assert "a:" in newick and "d:" in newick
+
+    def test_wrong_number_of_names_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            to_newick(small_tree, leaf_names=["a", "b"])
+
+    def test_without_heights_has_no_colons(self, small_tree):
+        newick = to_newick(small_tree, include_heights=False)
+        assert ":" not in newick
+
+    def test_branch_lengths_are_height_differences(self, small_tree):
+        newick = to_newick(small_tree)
+        # The (2,3) subtree sits at height 2 under a root at height 3.
+        assert "(L2:2,L3:2):1" in newick
+
+    def test_incomplete_dendrogram_rejected(self):
+        dendrogram = Dendrogram(3)
+        with pytest.raises(ValueError):
+            to_newick(dendrogram)
+
+    def test_single_leaf(self):
+        assert to_newick(Dendrogram(1)) == "L0;"
+
+    def test_parentheses_are_balanced(self, small_tree):
+        newick = to_newick(small_tree)
+        assert newick.count("(") == newick.count(")")
+
+
+class TestCophenetic:
+    def test_small_tree_values(self, small_tree):
+        distances = cophenetic_distances(small_tree)
+        assert distances[0, 1] == 1.0
+        assert distances[2, 3] == 2.0
+        assert distances[0, 2] == 3.0
+        assert distances[0, 0] == 0.0
+        np.testing.assert_array_equal(distances, distances.T)
+
+    def test_matches_scipy_on_hac_dendrogram(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(15, 3))
+        diff = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((diff ** 2).sum(axis=-1))
+        ours = hac_dendrogram(distances, method="average")
+        our_cophenetic = cophenetic_distances(ours)
+        scipy_result = scipy_linkage(squareform(distances, checks=False), method="average")
+        scipy_cophenetic = squareform(cophenet(scipy_result))
+        np.testing.assert_allclose(our_cophenetic, scipy_cophenetic, rtol=1e-8)
+
+    def test_correlation_is_one_for_ultrametric_input(self, small_tree):
+        cophenetic = cophenetic_distances(small_tree)
+        assert cophenetic_correlation(small_tree, cophenetic) == pytest.approx(1.0)
+
+    def test_correlation_rejects_wrong_shape(self, small_tree):
+        with pytest.raises(ValueError):
+            cophenetic_correlation(small_tree, np.zeros((2, 2)))
+
+    def test_correlation_reasonable_for_hac(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(20, 2))
+        diff = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((diff ** 2).sum(axis=-1))
+        dendrogram = hac_dendrogram(distances, method="complete")
+        assert cophenetic_correlation(dendrogram, distances) > 0.5
+
+
+class TestMembershipTable:
+    def test_columns_match_individual_cuts(self, small_tree):
+        from repro.dendrogram.cut import cut_k
+
+        table = cluster_membership_table(small_tree, [1, 2, 4])
+        assert table.shape == (4, 3)
+        np.testing.assert_array_equal(table[:, 1], cut_k(small_tree, 2))
+
+    def test_empty_cut_list(self, small_tree):
+        table = cluster_membership_table(small_tree, [])
+        assert table.shape == (4, 0)

@@ -1,0 +1,69 @@
+"""Tests for ASCII dendrogram rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dendrogram.node import Dendrogram
+from repro.dendrogram.render import render_cluster_summary, render_tree
+
+
+@pytest.fixture
+def tree():
+    dendrogram = Dendrogram(4)
+    a = dendrogram.merge(0, 1, height=1.0)
+    b = dendrogram.merge(2, 3, height=2.0)
+    dendrogram.merge(a, b, height=3.0)
+    return dendrogram
+
+
+class TestRenderTree:
+    def test_contains_all_leaves(self, tree):
+        text = render_tree(tree)
+        for leaf in range(4):
+            assert f"leaf {leaf}" in text
+
+    def test_shows_heights(self, tree):
+        text = render_tree(tree)
+        assert "height 3" in text
+        assert "height 1" in text
+
+    def test_hide_heights(self, tree):
+        assert "height" not in render_tree(tree, show_heights=False)
+
+    def test_leaf_names(self, tree):
+        text = render_tree(tree, leaf_names=["a", "b", "c", "d"])
+        assert "a" in text and "d" in text
+        assert "leaf 0" not in text
+
+    def test_wrong_name_count_rejected(self, tree):
+        with pytest.raises(ValueError):
+            render_tree(tree, leaf_names=["only", "two"])
+
+    def test_max_depth_truncates(self, tree):
+        text = render_tree(tree, max_depth=1)
+        assert "[2 leaves]" in text
+        assert "leaf 0" not in text
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(ValueError):
+            render_tree(Dendrogram(3))
+
+    def test_line_count_matches_node_count(self, tree):
+        text = render_tree(tree)
+        assert len(text.splitlines()) == tree.num_nodes
+
+
+class TestClusterSummary:
+    def test_one_line_per_cluster(self, tree):
+        text = render_cluster_summary(tree, 2)
+        assert len(text.splitlines()) == 2
+        assert "2 members" in text
+
+    def test_member_truncation(self, tree):
+        text = render_cluster_summary(tree, 1, max_members=2)
+        assert "..." in text
+
+    def test_leaf_names_used(self, tree):
+        text = render_cluster_summary(tree, 4, leaf_names=["w", "x", "y", "z"])
+        assert "w" in text and "z" in text

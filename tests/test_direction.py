@@ -1,0 +1,141 @@
+"""Tests for the bubble-tree edge direction (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bubble_tree import BubbleTree
+from repro.core.direction import compute_directions, compute_directions_bfs
+from repro.core.tmfg import construct_tmfg
+from repro.graph.faces import triangle_key
+from repro.graph.weighted_graph import WeightedGraph
+from repro.parallel.cost_model import WorkSpanTracker
+
+from tests.conftest import random_similarity_matrix
+
+
+def figure2_graph_and_tree():
+    """The TMFG of Figure 2(a) with edge weights 0.8 / 0.4 / 0.2.
+
+    The construction order follows Example 1: start from the 4-clique
+    {0,1,2,4}, insert 3 into {0,1,2} (the outer face), then 5 into {1,2,3}
+    and 6 into the new outer face {0,1,3}.  The weights are assigned so that
+    edges inside the ground-truth-ish core are heavy (0.8), cross edges are
+    medium (0.4), and edges to the peripheral vertex 6 are light (0.2),
+    consistent with the figure's description.
+    """
+    weights = {
+        (0, 1): 0.8, (0, 2): 0.8, (1, 2): 0.8, (0, 4): 0.8, (1, 4): 0.4,
+        (2, 4): 0.4, (0, 3): 0.8, (1, 3): 0.8, (2, 3): 0.4, (1, 5): 0.4,
+        (2, 5): 0.4, (3, 5): 0.4, (0, 6): 0.2, (1, 6): 0.2, (3, 6): 0.2,
+    }
+    graph = WeightedGraph(7)
+    for (u, v), w in weights.items():
+        graph.add_edge(u, v, w)
+    faces = [
+        triangle_key(0, 1, 2),
+        triangle_key(0, 1, 4),
+        triangle_key(0, 2, 4),
+        triangle_key(1, 2, 4),
+    ]
+    tree = BubbleTree([0, 1, 2, 4], faces)
+    tree.insert(3, triangle_key(0, 1, 2), is_outer_face=True)
+    tree.insert(5, triangle_key(1, 2, 3), is_outer_face=False)
+    tree.insert(6, triangle_key(0, 1, 3), is_outer_face=True)
+    return graph, tree
+
+
+class TestPaperExample:
+    def test_b2_is_the_only_converging_bubble(self):
+        graph, tree = figure2_graph_and_tree()
+        directions = compute_directions(tree, graph)
+        converging = directions.converging_bubbles(tree)
+        converging_sets = [set(tree.bubble(b).vertices) for b in converging]
+        assert converging_sets == [{0, 1, 2, 3}]
+
+    def test_example2_inval_exceeds_outval_for_b2(self):
+        graph, tree = figure2_graph_and_tree()
+        directions = compute_directions(tree, graph)
+        b2 = next(b.id for b in tree.bubbles if set(b.vertices) == {0, 1, 2, 3})
+        assert directions.in_values[b2] > directions.out_values[b2]
+        assert directions.towards_child[b2] is True
+
+    def test_bfs_baseline_gives_same_example_result(self):
+        graph, tree = figure2_graph_and_tree()
+        fast = compute_directions(tree, graph)
+        slow = compute_directions_bfs(tree, graph)
+        assert fast.towards_child == slow.towards_child
+
+
+class TestAgainstBFSBaseline:
+    @pytest.mark.parametrize("seed,prefix", [(0, 1), (1, 1), (2, 6), (3, 12)])
+    def test_directions_match_on_random_inputs(self, seed, prefix):
+        similarity = random_similarity_matrix(35, seed=seed)
+        result = construct_tmfg(similarity, prefix=prefix)
+        fast = compute_directions(result.bubble_tree, result.graph)
+        slow = compute_directions_bfs(result.bubble_tree, result.graph)
+        assert fast.towards_child == slow.towards_child
+
+    @pytest.mark.parametrize("prefix", [1, 8])
+    def test_in_and_out_values_match_bfs(self, small_matrices, prefix):
+        similarity, _ = small_matrices
+        result = construct_tmfg(similarity, prefix=prefix)
+        fast = compute_directions(result.bubble_tree, result.graph)
+        slow = compute_directions_bfs(result.bubble_tree, result.graph)
+        for bubble_id in fast.in_values:
+            assert fast.in_values[bubble_id] == pytest.approx(slow.in_values[bubble_id])
+            assert fast.out_values[bubble_id] == pytest.approx(slow.out_values[bubble_id])
+
+    def test_inval_plus_outval_identity(self, small_tmfg):
+        # INVAL + OUTVAL + 2 * (triangle weight) = sum of corner degrees.
+        graph = small_tmfg.graph
+        tree = small_tmfg.bubble_tree
+        directions = compute_directions(tree, graph)
+        for bubble in tree.bubbles:
+            if bubble.parent is None:
+                continue
+            triangle = tree.separating_triangle(bubble.id)
+            vx, vy, vz = sorted(triangle)
+            degree_sum = sum(graph.weighted_degree(v) for v in (vx, vy, vz))
+            triangle_weight = (
+                graph.weight(vx, vy) + graph.weight(vx, vz) + graph.weight(vy, vz)
+            )
+            total = (
+                directions.in_values[bubble.id]
+                + directions.out_values[bubble.id]
+                + 2 * triangle_weight
+            )
+            assert total == pytest.approx(degree_sum)
+
+
+class TestDirectedTreeProperties:
+    def test_at_least_one_converging_bubble(self, small_tmfg):
+        directions = compute_directions(small_tmfg.bubble_tree, small_tmfg.graph)
+        assert len(directions.converging_bubbles(small_tmfg.bubble_tree)) >= 1
+
+    def test_every_bubble_reaches_a_converging_bubble(self, small_tmfg):
+        tree = small_tmfg.bubble_tree
+        directions = compute_directions(tree, small_tmfg.graph)
+        reach = directions.reachable_converging_bubbles(tree)
+        for bubble in tree.bubbles:
+            assert reach[bubble.id], f"bubble {bubble.id} reaches no converging bubble"
+
+    def test_converging_bubble_reaches_only_itself(self, small_tmfg):
+        tree = small_tmfg.bubble_tree
+        directions = compute_directions(tree, small_tmfg.graph)
+        reach = directions.reachable_converging_bubbles(tree)
+        for bubble_id in directions.converging_bubbles(tree):
+            assert reach[bubble_id] == {bubble_id}
+
+    def test_out_degree_counts_are_consistent(self, batched_tmfg):
+        tree = batched_tmfg.bubble_tree
+        directions = compute_directions(tree, batched_tmfg.graph)
+        total_out = sum(directions.out_degree(tree, b.id) for b in tree.bubbles)
+        # Every tree edge contributes exactly one outgoing endpoint.
+        assert total_out == tree.num_bubbles - 1
+
+    def test_tracker_records_linear_work(self, small_tmfg):
+        tracker = WorkSpanTracker()
+        compute_directions(small_tmfg.bubble_tree, small_tmfg.graph, tracker=tracker)
+        assert tracker.phase("bubble-tree").work == small_tmfg.bubble_tree.num_bubbles - 1

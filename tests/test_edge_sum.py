@@ -1,0 +1,62 @@
+"""Tests for the filtered-graph edge-weight-sum metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.weighted_graph import WeightedGraph
+from repro.metrics.edge_sum import edge_weight_sum, edge_weight_sum_ratio
+
+
+@pytest.fixture
+def weights():
+    rng = np.random.default_rng(0)
+    raw = rng.uniform(0.0, 1.0, size=(6, 6))
+    matrix = (raw + raw.T) / 2
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestEdgeWeightSum:
+    def test_from_graph(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 1.5)
+        graph.add_edge(1, 2, 2.5)
+        assert edge_weight_sum(graph) == pytest.approx(4.0)
+
+    def test_from_edge_list_and_matrix(self, weights):
+        edges = [(0, 1), (2, 3)]
+        expected = weights[0, 1] + weights[2, 3]
+        assert edge_weight_sum(edges, weights) == pytest.approx(expected)
+
+    def test_edge_list_without_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            edge_weight_sum([(0, 1)])
+
+    def test_empty_graph_is_zero(self):
+        assert edge_weight_sum(WeightedGraph(4)) == 0.0
+
+
+class TestRatio:
+    def test_identical_graphs_have_ratio_one(self, weights):
+        graph = WeightedGraph.from_edge_list_and_matrix(6, [(0, 1), (1, 2)], weights)
+        assert edge_weight_sum_ratio(graph, graph) == pytest.approx(1.0)
+
+    def test_ratio_orders_graphs_by_weight(self, weights):
+        heavy = WeightedGraph.from_edge_list_and_matrix(6, [(0, 1), (1, 2), (2, 3)], weights)
+        light = WeightedGraph.from_edge_list_and_matrix(6, [(0, 1)], weights)
+        assert edge_weight_sum_ratio(light, heavy) < 1.0
+        assert edge_weight_sum_ratio(heavy, light) > 1.0
+
+    def test_zero_reference_rejected(self):
+        empty = WeightedGraph(4)
+        other = WeightedGraph(4)
+        other.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            edge_weight_sum_ratio(other, empty)
+
+    def test_mixed_graph_and_edge_list(self, weights):
+        graph = WeightedGraph.from_edge_list_and_matrix(6, [(0, 1), (1, 2)], weights)
+        ratio = edge_weight_sum_ratio([(0, 1), (1, 2)], graph, weights)
+        assert ratio == pytest.approx(1.0)

@@ -1,0 +1,119 @@
+"""Smoke tests for the remaining figure reproductions on a micro configuration.
+
+The full-size reproductions run in the benchmark suite; these tests exercise
+the same code paths on a deliberately tiny configuration so that the figure
+entry points stay covered by ``pytest tests/`` alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure1_quality_vs_time,
+    figure3_runtime,
+    figure8_quality,
+    figure9_spectral_sensitivity,
+    figure10_stock_clusters,
+    figure11_market_cap,
+    scaling_with_data_size,
+    speedup_factors,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_config():
+    return ExperimentConfig(
+        scale=0.012,
+        noise=1.1,
+        outlier_fraction=0.05,
+        dataset_ids=(6, 11),
+        slow_dataset_ids=(11,),
+        max_slow_objects=36,
+        prefix_sizes=(1, 4),
+        thread_counts=(1, 8, 48),
+        spectral_neighbor_counts=(4, 8),
+        stock_count=60,
+        stock_days=90,
+        stock_prefix=5,
+        seed=3,
+    )
+
+
+class TestFigure1:
+    def test_rows_and_ranges(self, micro_config):
+        result = figure1_quality_vs_time(micro_config)
+        assert len(result["rows"]) == 4 * len(micro_config.slow_dataset_ids)
+        for _, _, method, seconds, ari in result["rows"]:
+            assert seconds > 0
+            assert -1.0 <= ari <= 1.0
+
+    def test_tmfg_dbht_faster_than_pmfg_dbht(self, micro_config):
+        result = figure1_quality_vs_time(micro_config)
+        seconds = {row[2]: row[3] for row in result["rows"]}
+        assert seconds["PAR-TDBHT-1"] < seconds["PMFG-DBHT"]
+
+
+class TestFigure3:
+    def test_fast_methods_cover_all_datasets(self, micro_config):
+        result = figure3_runtime(micro_config)
+        dataset_ids = {row[0] for row in result["rows"]}
+        assert dataset_ids == set(micro_config.dataset_ids)
+
+    def test_predicted_parallel_time_only_for_tdbht(self, micro_config):
+        result = figure3_runtime(micro_config)
+        for _, method, _, predicted, _ in result["rows"]:
+            if method in ("COMP", "AVG"):
+                assert predicted is None
+            if method.startswith("PAR-TDBHT") and predicted is not None:
+                assert predicted > 0
+
+
+class TestFigure8:
+    def test_all_methods_present(self, micro_config):
+        result = figure8_quality(micro_config)
+        methods = {row[1] for row in result["rows"]}
+        assert {"PAR-TDBHT-1", "COMP", "AVG", "K-MEANS", "K-MEANS-S"} <= methods
+
+    def test_ari_values_in_range(self, micro_config):
+        result = figure8_quality(micro_config)
+        for _, _, ari in result["rows"]:
+            assert -1.0 <= ari <= 1.0
+
+
+class TestFigure9:
+    def test_each_dataset_swept_over_beta(self, micro_config):
+        result = figure9_spectral_sensitivity(micro_config)
+        betas_per_dataset = {}
+        for dataset_id, beta, _ in result["rows"]:
+            betas_per_dataset.setdefault(dataset_id, set()).add(beta)
+        for betas in betas_per_dataset.values():
+            assert betas == set(micro_config.spectral_neighbor_counts)
+
+
+class TestStockFigures:
+    def test_figure10_counts_cover_all_stocks(self, micro_config):
+        result = figure10_stock_clusters(micro_config)
+        assert result["counts"].sum() == micro_config.stock_count
+        assert -1.0 <= result["ari_prefix"] <= 1.0
+
+    def test_figure11_has_sector_and_cluster_rows(self, micro_config):
+        result = figure11_market_cap(micro_config)
+        groupings = {row[0] for row in result["rows"]}
+        assert groupings == {"sector", "cluster"}
+        counts = sum(row[2] for row in result["rows"] if row[0] == "sector")
+        assert counts == micro_config.stock_count
+
+
+class TestTextResults:
+    def test_speedup_factors_positive(self, micro_config):
+        result = speedup_factors(micro_config)
+        for row in result["rows"]:
+            assert all(value > 0 for value in row[1:])
+
+    def test_scaling_exponent_fitted(self, micro_config):
+        result = scaling_with_data_size(micro_config, sizes=(60, 90, 130), prefix=4)
+        assert len(result["rows"]) == 3
+        assert 0.5 <= result["exponent"] <= 4.0

@@ -1,0 +1,92 @@
+"""Tests for matrix validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.matrix import (
+    MatrixValidationError,
+    correlation_like,
+    validate_dissimilarity_matrix,
+    validate_similarity_matrix,
+)
+
+
+class TestValidateSimilarity:
+    def test_accepts_symmetric_matrix(self):
+        matrix = np.array([[1.0, 0.5, 0.2, 0.1],
+                           [0.5, 1.0, 0.3, 0.2],
+                           [0.2, 0.3, 1.0, 0.4],
+                           [0.1, 0.2, 0.4, 1.0]])
+        result = validate_similarity_matrix(matrix)
+        assert result.shape == (4, 4)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(MatrixValidationError):
+            validate_similarity_matrix(np.zeros((3, 4)))
+
+    def test_rejects_too_small(self):
+        with pytest.raises(MatrixValidationError):
+            validate_similarity_matrix(np.eye(3))
+
+    def test_rejects_asymmetric(self):
+        matrix = np.eye(5)
+        matrix[0, 1] = 0.9
+        with pytest.raises(MatrixValidationError):
+            validate_similarity_matrix(matrix)
+
+    def test_rejects_nan(self):
+        matrix = np.eye(5)
+        matrix[2, 3] = matrix[3, 2] = np.nan
+        with pytest.raises(MatrixValidationError):
+            validate_similarity_matrix(matrix)
+
+    def test_returns_float_array(self):
+        matrix = np.eye(4, dtype=int)
+        assert validate_similarity_matrix(matrix).dtype == float
+
+    def test_custom_min_size(self):
+        assert validate_similarity_matrix(np.eye(2), min_size=2).shape == (2, 2)
+
+
+class TestValidateDissimilarity:
+    def test_accepts_valid_matrix(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert validate_dissimilarity_matrix(matrix).shape == (2, 2)
+
+    def test_rejects_negative_entries(self):
+        matrix = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(MatrixValidationError):
+            validate_dissimilarity_matrix(matrix)
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(MatrixValidationError):
+            validate_dissimilarity_matrix(np.zeros((3, 3)), size=4)
+
+    def test_tiny_negative_values_clipped(self):
+        matrix = np.array([[0.0, -1e-12], [-1e-12, 0.0]])
+        result = validate_dissimilarity_matrix(matrix)
+        assert np.all(result >= 0.0)
+
+    def test_rejects_infinite(self):
+        matrix = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(MatrixValidationError):
+            validate_dissimilarity_matrix(matrix)
+
+
+class TestCorrelationLike:
+    def test_correlation_matrix_is_detected(self):
+        matrix = np.array([[1.0, 0.3], [0.3, 1.0]])
+        assert correlation_like(matrix)
+
+    def test_non_unit_diagonal_rejected(self):
+        matrix = np.array([[2.0, 0.3], [0.3, 2.0]])
+        assert not correlation_like(matrix)
+
+    def test_out_of_range_rejected(self):
+        matrix = np.array([[1.0, 1.5], [1.5, 1.0]])
+        assert not correlation_like(matrix)
+
+    def test_non_square_rejected(self):
+        assert not correlation_like(np.zeros((2, 3)))

@@ -1,0 +1,114 @@
+"""Integration tests: full workflows across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import tmfg_dbht
+from repro.baselines.hac import hac_labels
+from repro.baselines.kmeans import kmeans
+from repro.core.tmfg import construct_tmfg
+from repro.datasets.similarity import (
+    correlation_matrix,
+    correlation_to_dissimilarity,
+    detrended_log_returns,
+    similarity_and_dissimilarity,
+)
+from repro.datasets.stocks import cluster_sector_counts, generate_stock_market
+from repro.datasets.synthetic import make_time_series_dataset
+from repro.datasets.ucr_like import load_ucr_like
+from repro.metrics.ari import adjusted_rand_index
+from repro.metrics.edge_sum import edge_weight_sum_ratio
+
+
+class TestTimeSeriesWorkflow:
+    """The paper's main workflow: correlations -> TMFG -> DBHT -> clusters."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_time_series_dataset(
+            num_objects=140, length=96, num_classes=4, noise=1.2, seed=17,
+            outlier_fraction=0.05,
+        )
+
+    @pytest.fixture(scope="class")
+    def matrices(self, dataset):
+        return similarity_and_dissimilarity(dataset.data)
+
+    def test_tdbht_beats_random_assignment(self, dataset, matrices):
+        similarity, dissimilarity = matrices
+        result = tmfg_dbht(similarity, dissimilarity, prefix=1)
+        labels = result.cut(dataset.num_classes)
+        assert adjusted_rand_index(dataset.labels, labels) > 0.3
+
+    def test_tdbht_competitive_with_hac(self, dataset, matrices):
+        similarity, dissimilarity = matrices
+        result = tmfg_dbht(similarity, dissimilarity, prefix=1)
+        dbht_ari = adjusted_rand_index(dataset.labels, result.cut(dataset.num_classes))
+        complete_ari = adjusted_rand_index(
+            dataset.labels, hac_labels(dissimilarity, dataset.num_classes, "complete")
+        )
+        # The paper's headline quality claim, reproduced with slack: DBHT is
+        # at least competitive with complete linkage on noisy data.
+        assert dbht_ari >= complete_ari - 0.15
+
+    def test_batched_prefix_keeps_useful_structure(self, dataset, matrices):
+        # The paper observes that on small data sets a large prefix degrades
+        # clustering quality noticeably (the prefix is a large fraction of
+        # the graph), while the *graph* quality (kept edge weight) stays
+        # within a few percent of the exact TMFG.  At this reduced scale we
+        # therefore assert the graph-quality claim tightly and the
+        # clustering claim loosely.
+        similarity, dissimilarity = matrices
+        batched = tmfg_dbht(similarity, dissimilarity, prefix=10)
+        batched_ari = adjusted_rand_index(
+            dataset.labels, batched.cut(dataset.num_classes)
+        )
+        assert batched_ari > 0.15
+        sequential = construct_tmfg(similarity, prefix=1, build_bubble_tree=False)
+        ratio = edge_weight_sum_ratio(batched.tmfg.graph, sequential.graph)
+        assert ratio >= 0.9
+
+    def test_edge_sum_ratio_in_paper_band(self, matrices):
+        similarity, _ = matrices
+        sequential = construct_tmfg(similarity, prefix=1, build_bubble_tree=False)
+        batched = construct_tmfg(similarity, prefix=10, build_bubble_tree=False)
+        ratio = edge_weight_sum_ratio(batched.graph, sequential.graph)
+        assert 0.9 <= ratio <= 1.05
+
+    def test_kmeans_baseline_works_on_raw_series(self, dataset):
+        result = kmeans(dataset.data, dataset.num_classes, seed=0, num_restarts=3)
+        assert adjusted_rand_index(dataset.labels, result.labels) > 0.2
+
+
+class TestUCRWorkflow:
+    def test_ucr_like_dataset_through_pipeline(self):
+        dataset = load_ucr_like(11, scale=0.08, noise=1.0, seed=4)
+        similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
+        result = tmfg_dbht(similarity, dissimilarity, prefix=5)
+        labels = result.cut(dataset.num_classes)
+        assert len(np.unique(labels)) == dataset.num_classes
+        assert adjusted_rand_index(dataset.labels, labels) > 0.2
+
+
+class TestStockWorkflow:
+    def test_stock_clustering_recovers_sector_structure(self):
+        market = generate_stock_market(num_stocks=120, num_days=220, seed=9)
+        returns = detrended_log_returns(market.prices)
+        similarity = correlation_matrix(returns)
+        dissimilarity = correlation_to_dissimilarity(similarity)
+        result = tmfg_dbht(similarity, dissimilarity, prefix=10)
+        labels = result.cut(11)
+        ari = adjusted_rand_index(market.sectors, labels)
+        assert ari > 0.2
+        counts = cluster_sector_counts(labels, market.sectors, num_sectors=11)
+        assert counts.sum() == 120
+
+    def test_stock_clusters_via_public_api_are_deterministic(self):
+        market = generate_stock_market(num_stocks=80, num_days=150, seed=2)
+        returns = detrended_log_returns(market.prices)
+        similarity = correlation_matrix(returns)
+        first = tmfg_dbht(similarity, prefix=5).cut(11)
+        second = tmfg_dbht(similarity, prefix=5).cut(11)
+        np.testing.assert_array_equal(first, second)

@@ -1,0 +1,89 @@
+"""Tests for k-means and its initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import kmeans, kmeans_plus_plus, scalable_kmeans_init
+from repro.datasets.synthetic import make_gaussian_blobs
+from repro.metrics.ari import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_gaussian_blobs(
+        num_objects=150, num_features=4, num_classes=3, separation=6.0, noise=0.8, seed=2
+    )
+
+
+class TestInitialisation:
+    def test_kmeans_plus_plus_returns_k_centers(self, blobs):
+        rng = np.random.default_rng(0)
+        centers = kmeans_plus_plus(blobs.data, 3, rng)
+        assert centers.shape == (3, blobs.data.shape[1])
+
+    def test_kmeans_plus_plus_centers_are_data_points(self, blobs):
+        rng = np.random.default_rng(1)
+        centers = kmeans_plus_plus(blobs.data, 5, rng)
+        for center in centers:
+            assert np.any(np.all(np.isclose(blobs.data, center), axis=1))
+
+    def test_kmeans_plus_plus_too_many_clusters_rejected(self, blobs):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kmeans_plus_plus(blobs.data, blobs.data.shape[0] + 1, rng)
+
+    def test_scalable_init_returns_k_centers(self, blobs):
+        rng = np.random.default_rng(3)
+        centers = scalable_kmeans_init(blobs.data, 3, rng)
+        assert centers.shape == (3, blobs.data.shape[1])
+
+    def test_scalable_init_handles_duplicate_points(self):
+        data = np.zeros((20, 2))
+        rng = np.random.default_rng(0)
+        centers = scalable_kmeans_init(data, 2, rng)
+        assert centers.shape == (2, 2)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, blobs):
+        result = kmeans(blobs.data, 3, seed=0, num_restarts=3)
+        assert adjusted_rand_index(blobs.labels, result.labels) > 0.95
+
+    def test_scalable_init_recovers_blobs(self, blobs):
+        result = kmeans(blobs.data, 3, init="k-means||", seed=0, num_restarts=3)
+        assert adjusted_rand_index(blobs.labels, result.labels) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        few = kmeans(blobs.data, 2, seed=1, num_restarts=2)
+        many = kmeans(blobs.data, 6, seed=1, num_restarts=2)
+        assert many.inertia < few.inertia
+
+    def test_labels_cover_requested_clusters(self, blobs):
+        result = kmeans(blobs.data, 4, seed=5)
+        assert set(np.unique(result.labels)) <= set(range(4))
+
+    def test_deterministic_for_fixed_seed(self, blobs):
+        first = kmeans(blobs.data, 3, seed=42)
+        second = kmeans(blobs.data, 3, seed=42)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_single_cluster(self, blobs):
+        result = kmeans(blobs.data, 1, seed=0)
+        assert np.all(result.labels == 0)
+        expected_center = blobs.data.mean(axis=0)
+        np.testing.assert_allclose(result.centers[0], expected_center, rtol=1e-6)
+
+    def test_invalid_parameters_rejected(self, blobs):
+        with pytest.raises(ValueError):
+            kmeans(blobs.data, 0)
+        with pytest.raises(ValueError):
+            kmeans(blobs.data, 2, init="bogus")
+        with pytest.raises(ValueError):
+            kmeans(blobs.data[0], 2)
+
+    def test_converged_flag_set_on_easy_data(self, blobs):
+        result = kmeans(blobs.data, 3, seed=0, max_iterations=300)
+        assert result.converged
+        assert result.iterations <= 300

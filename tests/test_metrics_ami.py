@@ -1,0 +1,116 @@
+"""Tests for mutual information, entropy, and AMI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.ami import (
+    adjusted_mutual_information,
+    entropy,
+    expected_mutual_information,
+    mutual_information,
+)
+from repro.metrics.contingency import contingency_table
+
+
+class TestEntropy:
+    def test_uniform_two_classes(self):
+        assert entropy([0, 1, 0, 1]) == pytest.approx(np.log(2))
+
+    def test_single_class_is_zero(self):
+        assert entropy([3, 3, 3]) == pytest.approx(0.0)
+
+    def test_empty_is_zero(self):
+        assert entropy([]) == 0.0
+
+    def test_uniform_k_classes(self):
+        labels = list(range(8)) * 4
+        assert entropy(labels) == pytest.approx(np.log(8))
+
+
+class TestMutualInformation:
+    def test_identical_labelings_equal_entropy(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert mutual_information(labels, labels) == pytest.approx(entropy(labels))
+
+    def test_independent_labelings_zero(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a = rng.integers(0, 3, size=40)
+            b = rng.integers(0, 4, size=40)
+            assert mutual_information(a, b) >= 0.0
+
+    def test_bounded_by_min_entropy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(0, 3, size=50)
+            b = rng.integers(0, 5, size=50)
+            assert mutual_information(a, b) <= min(entropy(a), entropy(b)) + 1e-9
+
+
+class TestExpectedMutualInformation:
+    def test_zero_for_single_cluster(self):
+        _, rows, cols = contingency_table([0, 0, 0], [0, 0, 0])
+        assert expected_mutual_information(rows, cols) == pytest.approx(0.0)
+
+    def test_positive_for_balanced_partitions(self):
+        _, rows, cols = contingency_table([0, 0, 1, 1], [0, 1, 0, 1])
+        assert expected_mutual_information(rows, cols) > 0.0
+
+    def test_less_than_entropy(self):
+        labels = [0, 0, 1, 1, 2, 2, 3, 3]
+        _, rows, cols = contingency_table(labels, labels)
+        assert expected_mutual_information(rows, cols) < entropy(labels)
+
+
+class TestAMI:
+    def test_perfect_match_is_one(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert adjusted_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [2, 2, 0, 0, 1, 1]
+        assert adjusted_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(4)
+        scores = []
+        for _ in range(20):
+            a = rng.integers(0, 3, size=100)
+            b = rng.integers(0, 3, size=100)
+            scores.append(adjusted_mutual_information(a, b))
+        assert abs(float(np.mean(scores))) < 0.05
+
+    def test_single_cluster_each_is_perfect(self):
+        assert adjusted_mutual_information([0, 0, 0], [5, 5, 5]) == pytest.approx(1.0)
+
+    def test_average_methods(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [0, 0, 0, 1, 1, 2]
+        for method in ("arithmetic", "max", "min"):
+            value = adjusted_mutual_information(a, b, average_method=method)
+            assert -1.0 <= value <= 1.0
+
+    def test_unknown_average_method_rejected(self):
+        with pytest.raises(ValueError):
+            adjusted_mutual_information([0, 1], [0, 1], average_method="geometric")
+
+    def test_tracks_ari_trend(self):
+        # AMI and ARI should both prefer the better clustering.
+        from repro.metrics.ari import adjusted_rand_index
+
+        truth = [0] * 10 + [1] * 10 + [2] * 10
+        good = truth.copy()
+        good[0] = 1
+        bad = [0, 1, 2] * 10
+        assert adjusted_mutual_information(truth, good) > adjusted_mutual_information(
+            truth, bad
+        )
+        assert adjusted_rand_index(truth, good) > adjusted_rand_index(truth, bad)

@@ -1,0 +1,114 @@
+"""Tests for the Adjusted Rand Index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.ari import adjusted_rand_index, rand_index
+from repro.metrics.contingency import contingency_table
+
+
+class TestContingency:
+    def test_counts_pairs(self):
+        table, rows, cols = contingency_table([0, 0, 1, 1], [0, 1, 1, 1])
+        assert table.tolist() == [[1, 1], [0, 2]]
+        assert rows.tolist() == [2, 2]
+        assert cols.tolist() == [1, 3]
+
+    def test_arbitrary_label_values(self):
+        table, _, _ = contingency_table(["a", "b", "a"], [10, 10, 20])
+        assert table.sum() == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            contingency_table([0, 1], [0])
+
+
+class TestARI:
+    def test_perfect_match_is_one(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 2, 2]) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Classic example: ARI of these two partitions is 0.24242...
+        labels_true = [0, 0, 0, 1, 1, 1]
+        labels_pred = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(labels_true, labels_pred) == pytest.approx(
+            0.24242424, abs=1e-6
+        )
+
+    def test_single_cluster_vs_split(self):
+        value = adjusted_rand_index([0] * 6, [0, 0, 0, 1, 1, 1])
+        assert value == pytest.approx(0.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(0)
+        scores = []
+        for _ in range(30):
+            a = rng.integers(0, 4, size=200)
+            b = rng.integers(0, 4, size=200)
+            scores.append(adjusted_rand_index(a, b))
+        assert abs(float(np.mean(scores))) < 0.05
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=50)
+        b = rng.integers(0, 5, size=50)
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+    def test_matches_sklearn_formula_on_random_inputs(self):
+        # Independent reference implementation of the same formula.
+        def reference(labels_true, labels_pred):
+            from scipy.special import comb
+
+            table, rows, cols = contingency_table(labels_true, labels_pred)
+            n = rows.sum()
+            sum_comb = sum(comb(v, 2) for v in table.ravel())
+            sum_rows = sum(comb(v, 2) for v in rows)
+            sum_cols = sum(comb(v, 2) for v in cols)
+            expected = sum_rows * sum_cols / comb(n, 2)
+            max_index = 0.5 * (sum_rows + sum_cols)
+            if max_index == expected:
+                return 1.0
+            return (sum_comb - expected) / (max_index - expected)
+
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            a = rng.integers(0, 5, size=60)
+            b = rng.integers(0, 3, size=60)
+            assert adjusted_rand_index(a, b) == pytest.approx(reference(a, b))
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=60))
+    def test_ari_with_itself_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_ari_at_most_one(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 4, size=len(labels))
+        assert adjusted_rand_index(labels, other) <= 1.0 + 1e-12
+
+
+class TestRandIndex:
+    def test_perfect_match(self):
+        assert rand_index([0, 1, 0], [1, 0, 1]) == pytest.approx(1.0)
+
+    def test_half_agreement(self):
+        # Pairs: (0,1) disagree? compute a known small case.
+        value = rand_index([0, 0, 1, 1], [0, 1, 0, 1])
+        assert value == pytest.approx(1.0 / 3.0)
+
+    def test_bounded_between_zero_and_one(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a = rng.integers(0, 3, size=30)
+            b = rng.integers(0, 3, size=30)
+            assert 0.0 <= rand_index(a, b) <= 1.0

@@ -1,0 +1,115 @@
+"""Tests for the work-span cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.cost_model import (
+    PhaseCost,
+    WorkSpanTracker,
+    predicted_speedup,
+    speedup_curve,
+)
+
+
+class TestPhaseCost:
+    def test_accumulates_work_and_span(self):
+        phase = PhaseCost("tmfg")
+        phase.add(100.0, 5.0)
+        phase.add(50.0, 2.0)
+        assert phase.work == 150.0
+        assert phase.span == 7.0
+
+    def test_predicted_time_single_worker_equals_work_plus_span(self):
+        phase = PhaseCost("x", work=100.0, span=10.0)
+        assert phase.predicted_time(1) == pytest.approx(110.0)
+
+    def test_predicted_time_decreases_with_workers(self):
+        phase = PhaseCost("x", work=1000.0, span=10.0)
+        assert phase.predicted_time(10) < phase.predicted_time(2)
+
+    def test_predicted_time_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            PhaseCost("x", work=1.0, span=1.0).predicted_time(0)
+
+
+class TestWorkSpanTracker:
+    def test_phases_created_lazily(self):
+        tracker = WorkSpanTracker()
+        tracker.add("a", 10, 1)
+        tracker.add("b", 20, 2)
+        tracker.add("a", 5, 1)
+        assert tracker.phase("a").work == 15
+        assert tracker.phase("b").span == 2
+        assert {phase.name for phase in tracker.phases} == {"a", "b"}
+
+    def test_unknown_phase_is_zero(self):
+        tracker = WorkSpanTracker()
+        assert tracker.phase("missing").work == 0.0
+
+    def test_totals(self):
+        tracker = WorkSpanTracker()
+        tracker.add("a", 10, 1)
+        tracker.add("b", 30, 4)
+        assert tracker.total_work == 40
+        assert tracker.total_span == 5
+
+    def test_merge_combines_phases(self):
+        first = WorkSpanTracker()
+        first.add("a", 10, 1)
+        second = WorkSpanTracker()
+        second.add("a", 5, 2)
+        second.add("b", 7, 3)
+        first.merge(second)
+        assert first.phase("a").work == 15
+        assert first.phase("b").work == 7
+
+    def test_as_dict_round_trip(self):
+        tracker = WorkSpanTracker()
+        tracker.add("apsp", 12.0, 3.0)
+        assert tracker.as_dict() == {"apsp": {"work": 12.0, "span": 3.0}}
+
+
+class TestSpeedupModel:
+    def _tracker(self, work: float, span: float) -> WorkSpanTracker:
+        tracker = WorkSpanTracker()
+        tracker.add("phase", work, span)
+        return tracker
+
+    def test_speedup_is_one_for_single_worker(self):
+        tracker = self._tracker(1000, 10)
+        assert predicted_speedup(tracker, 1) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_work_over_span(self):
+        tracker = self._tracker(1000, 10)
+        # T_P >= span, so speedup <= (W + S) / S.
+        assert predicted_speedup(tracker, 10 ** 6) <= (1000 + 10) / 10 + 1e-9
+
+    def test_more_span_means_less_speedup(self):
+        parallel_friendly = self._tracker(10000, 10)
+        sequential_heavy = self._tracker(10000, 1000)
+        assert predicted_speedup(parallel_friendly, 48) > predicted_speedup(
+            sequential_heavy, 48
+        )
+
+    def test_speedup_monotone_in_workers(self):
+        tracker = self._tracker(50000, 100)
+        speedups = [predicted_speedup(tracker, p) for p in (1, 2, 4, 8, 16)]
+        assert speedups == sorted(speedups)
+
+    def test_hyperthreading_efficiency_reduces_speedup(self):
+        tracker = self._tracker(50000, 100)
+        full = predicted_speedup(tracker, 96, hyperthreading_efficiency=1.0)
+        reduced = predicted_speedup(tracker, 96, hyperthreading_efficiency=0.5)
+        assert reduced < full
+
+    def test_speedup_curve_length_matches_thread_counts(self):
+        tracker = self._tracker(1000, 10)
+        curve = speedup_curve(tracker, [1, 2, 4], hyperthreaded_last=True)
+        assert len(curve) == 3
+        assert curve[0] == pytest.approx(1.0)
+
+    def test_invalid_worker_count_rejected(self):
+        tracker = self._tracker(10, 1)
+        with pytest.raises(ValueError):
+            predicted_speedup(tracker, 0)

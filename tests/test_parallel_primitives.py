@@ -1,0 +1,104 @@
+"""Tests for the Table I parallel primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.primitives import (
+    parallel_filter,
+    parallel_map,
+    parallel_max,
+    parallel_sort,
+    parallel_top_k,
+)
+from repro.parallel.scheduler import SerialBackend, ThreadBackend
+
+
+class TestFilter:
+    def test_keeps_matching_elements_in_order(self):
+        assert parallel_filter([3, 1, 4, 1, 5, 9], lambda x: x > 2) == [3, 4, 5, 9]
+
+    def test_empty_input(self):
+        assert parallel_filter([], lambda x: True) == []
+
+    def test_with_thread_backend(self):
+        backend = ThreadBackend(num_workers=4)
+        try:
+            result = parallel_filter(list(range(100)), lambda x: x % 2 == 0, backend)
+        finally:
+            backend.close()
+        assert result == list(range(0, 100, 2))
+
+    @given(st.lists(st.integers()))
+    def test_matches_builtin_filter(self, values):
+        assert parallel_filter(values, lambda x: x % 3 == 0) == [
+            v for v in values if v % 3 == 0
+        ]
+
+
+class TestSortAndMax:
+    def test_sort_is_stable(self):
+        items = [(1, "a"), (0, "b"), (1, "c"), (0, "d")]
+        result = parallel_sort(items, key=lambda pair: pair[0])
+        assert result == [(0, "b"), (0, "d"), (1, "a"), (1, "c")]
+
+    def test_sort_reverse(self):
+        assert parallel_sort([2, 3, 1], reverse=True) == [3, 2, 1]
+
+    def test_max_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            parallel_max([])
+
+    def test_max_with_key(self):
+        assert parallel_max(["aa", "b", "cccc"], key=len) == "cccc"
+
+    def test_max_ties_prefer_first(self):
+        assert parallel_max([(5, "first"), (5, "second")], key=lambda x: x[0]) == (5, "first")
+
+    def test_max_large_input_with_threads(self):
+        backend = ThreadBackend(num_workers=4)
+        try:
+            values = list(range(5000))
+            assert parallel_max(values, backend=backend) == 4999
+        finally:
+            backend.close()
+
+    @given(st.lists(st.integers(), min_size=1))
+    def test_max_matches_builtin(self, values):
+        assert parallel_max(values) == max(values)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False)))
+    def test_sort_matches_builtin(self, values):
+        assert parallel_sort(values) == sorted(values)
+
+
+class TestTopK:
+    def test_returns_k_largest_descending(self):
+        assert parallel_top_k([5, 1, 9, 3, 7], 3) == [9, 7, 5]
+
+    def test_k_larger_than_input(self):
+        assert parallel_top_k([2, 1], 10) == [2, 1]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_top_k([1, 2], -1)
+
+    @given(st.lists(st.integers()), st.integers(min_value=0, max_value=20))
+    def test_is_prefix_of_descending_sort(self, values, k):
+        assert parallel_top_k(values, k) == sorted(values, reverse=True)[:k]
+
+
+class TestMap:
+    def test_preserves_order(self):
+        assert parallel_map([1, 2, 3], lambda x: x * x) == [1, 4, 9]
+
+    def test_serial_and_thread_backends_agree(self):
+        values = list(range(200))
+        serial = parallel_map(values, lambda x: x + 1, SerialBackend())
+        backend = ThreadBackend(num_workers=3)
+        try:
+            threaded = parallel_map(values, lambda x: x + 1, backend)
+        finally:
+            backend.close()
+        assert serial == threaded

@@ -1,0 +1,155 @@
+"""Tests for the Left-Right planarity test, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tmfg import construct_tmfg
+from repro.graph.planarity import is_planar, is_planar_with_extra_edge
+from repro.graph.weighted_graph import WeightedGraph
+
+
+def _networkx_planar(edges, n):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    result, _ = nx.check_planarity(graph)
+    return result
+
+
+K5_EDGES = list(itertools.combinations(range(5), 2))
+K33_EDGES = [(i, j + 3) for i in range(3) for j in range(3)]
+
+
+class TestKnownGraphs:
+    def test_k4_is_planar(self):
+        assert is_planar(list(itertools.combinations(range(4), 2)), num_vertices=4)
+
+    def test_k5_is_not_planar(self):
+        assert not is_planar(K5_EDGES, num_vertices=5)
+
+    def test_k33_is_not_planar(self):
+        assert not is_planar(K33_EDGES, num_vertices=6)
+
+    def test_k5_minus_one_edge_is_planar(self):
+        assert is_planar(K5_EDGES[:-1], num_vertices=5)
+
+    def test_k33_minus_one_edge_is_planar(self):
+        assert is_planar(K33_EDGES[:-1], num_vertices=6)
+
+    def test_cycle_is_planar(self):
+        edges = [(i, (i + 1) % 20) for i in range(20)]
+        assert is_planar(edges, num_vertices=20)
+
+    def test_empty_graph_is_planar(self):
+        assert is_planar([], num_vertices=10)
+
+    def test_disconnected_graph_with_nonplanar_component(self):
+        edges = [(u + 10, v + 10) for u, v in K5_EDGES] + [(0, 1), (1, 2)]
+        assert not is_planar(edges, num_vertices=15)
+
+    def test_k5_subdivision_is_not_planar(self):
+        # Subdivide every edge of K5 with a fresh vertex.
+        edges = []
+        next_vertex = 5
+        for u, v in K5_EDGES:
+            edges.append((u, next_vertex))
+            edges.append((next_vertex, v))
+            next_vertex += 1
+        assert not is_planar(edges, num_vertices=next_vertex)
+
+    def test_large_planar_grid(self):
+        # A 12 x 12 grid graph is planar.
+        def node(i, j):
+            return i * 12 + j
+
+        edges = []
+        for i in range(12):
+            for j in range(12):
+                if i + 1 < 12:
+                    edges.append((node(i, j), node(i + 1, j)))
+                if j + 1 < 12:
+                    edges.append((node(i, j), node(i, j + 1)))
+        assert is_planar(edges, num_vertices=144)
+
+    def test_grid_plus_k5_gadget_is_not_planar(self):
+        edges = [(i, j) for i, j in K5_EDGES]
+        for i in range(5, 50):
+            edges.append((i - 1, i))
+        assert not is_planar(edges, num_vertices=50)
+
+    def test_accepts_weighted_graph_input(self):
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        assert is_planar(graph)
+
+    def test_edge_list_requires_num_vertices(self):
+        with pytest.raises(ValueError):
+            is_planar([(0, 1)])
+
+    def test_extra_edge_helper(self):
+        edges = K5_EDGES[:-1]
+        assert not is_planar_with_extra_edge(5, edges, K5_EDGES[-1])
+        assert is_planar_with_extra_edge(5, edges[:-1], edges[-1])
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dense_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 16))
+        p = float(rng.uniform(0.2, 0.8))
+        edges = [
+            (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p
+        ]
+        assert is_planar(edges, num_vertices=n) == _networkx_planar(edges, n)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_sparse_graphs(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(20, 60))
+        m = int(rng.integers(n, 3 * n))
+        edges = set()
+        while len(edges) < m:
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        edges = sorted(edges)
+        assert is_planar(edges, num_vertices=n) == _networkx_planar(edges, n)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_property_random_graphs(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=12))
+        possible = list(itertools.combinations(range(n), 2))
+        edges = data.draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)))
+        assert is_planar(edges, num_vertices=n) == _networkx_planar(edges, n)
+
+
+class TestTMFGPlanarity:
+    @pytest.mark.parametrize("prefix", [1, 5, 25])
+    def test_tmfg_output_is_planar(self, small_matrices, prefix):
+        similarity, _ = small_matrices
+        result = construct_tmfg(similarity, prefix=prefix, build_bubble_tree=False)
+        assert is_planar(result.graph)
+        assert _networkx_planar([(u, v) for u, v, _ in result.graph.edges()], similarity.shape[0])
+
+    def test_tmfg_plus_any_edge_is_not_planar(self, small_tmfg):
+        # The TMFG is maximal planar: adding any missing edge breaks planarity.
+        graph = small_tmfg.graph
+        edges = [(u, v) for u, v, _ in graph.edges()]
+        n = graph.num_vertices
+        missing = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if not graph.has_edge(u, v)
+        ][:10]
+        for extra in missing:
+            assert not is_planar_with_extra_edge(n, edges, extra)

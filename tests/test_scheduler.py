@@ -1,0 +1,90 @@
+"""Tests for the execution backends."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.parallel.scheduler import (
+    ParallelBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    set_backend,
+)
+
+
+class TestSerialBackend:
+    def test_map_preserves_order(self):
+        backend = SerialBackend()
+        assert backend.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_for_each_runs_side_effects(self):
+        backend = SerialBackend()
+        seen = []
+        backend.for_each(seen.append, [1, 2, 3])
+        assert seen == [1, 2, 3]
+
+    def test_reports_single_worker(self):
+        assert SerialBackend().num_workers == 1
+
+
+class TestThreadBackend:
+    def test_map_matches_serial(self):
+        backend = ThreadBackend(num_workers=4)
+        try:
+            assert backend.map(lambda x: x + 1, list(range(50))) == [
+                x + 1 for x in range(50)
+            ]
+        finally:
+            backend.close()
+
+    def test_actually_uses_multiple_threads(self):
+        backend = ThreadBackend(num_workers=4)
+        thread_names = set()
+        lock = threading.Lock()
+
+        def record(_):
+            with lock:
+                thread_names.add(threading.current_thread().name)
+            # Give other workers a chance to pick up tasks.
+            import time
+
+            time.sleep(0.005)
+
+        try:
+            backend.for_each(record, list(range(32)))
+        finally:
+            backend.close()
+        assert len(thread_names) >= 2
+
+    def test_single_item_runs_inline(self):
+        backend = ThreadBackend(num_workers=2)
+        try:
+            assert backend.map(lambda x: x, [7]) == [7]
+        finally:
+            backend.close()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(num_workers=0)
+
+
+class TestDefaultBackend:
+    def test_get_backend_returns_argument_if_given(self):
+        backend = SerialBackend()
+        assert get_backend(backend) is backend
+
+    def test_set_backend_changes_default(self):
+        original = get_backend()
+        replacement = SerialBackend()
+        try:
+            set_backend(replacement)
+            assert get_backend() is replacement
+        finally:
+            set_backend(original)
+
+    def test_base_class_map_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ParallelBackend().map(lambda x: x, [1])

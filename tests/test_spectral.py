@@ -1,0 +1,83 @@
+"""Tests for the spectral-embedding k-means baseline (K-MEANS-S)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.spectral import knn_affinity, spectral_embedding, spectral_kmeans
+from repro.datasets.synthetic import make_gaussian_blobs
+from repro.metrics.ari import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_gaussian_blobs(
+        num_objects=120, num_features=5, num_classes=3, separation=6.0, noise=0.8, seed=7
+    )
+
+
+class TestAffinity:
+    def test_symmetric(self, blobs):
+        affinity = knn_affinity(blobs.data, 8)
+        np.testing.assert_array_equal(affinity, affinity.T)
+
+    def test_zero_diagonal(self, blobs):
+        affinity = knn_affinity(blobs.data, 8)
+        assert np.all(np.diag(affinity) == 0.0)
+
+    def test_minimum_degree_is_k(self, blobs):
+        k = 6
+        affinity = knn_affinity(blobs.data, k)
+        assert np.all(affinity.sum(axis=1) >= k)
+
+    def test_invalid_neighbor_count_rejected(self, blobs):
+        with pytest.raises(ValueError):
+            knn_affinity(blobs.data, 0)
+        with pytest.raises(ValueError):
+            knn_affinity(blobs.data, blobs.data.shape[0])
+
+
+class TestEmbedding:
+    def test_shape(self, blobs):
+        embedding = spectral_embedding(blobs.data, num_components=3, num_neighbors=8)
+        assert embedding.shape == (blobs.data.shape[0], 3)
+
+    def test_rows_are_unit_norm(self, blobs):
+        embedding = spectral_embedding(blobs.data, num_components=3, num_neighbors=8)
+        norms = np.linalg.norm(embedding, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-6)
+
+    def test_well_separated_classes_are_separated_in_embedding(self, blobs):
+        embedding = spectral_embedding(blobs.data, num_components=3, num_neighbors=8)
+        # Average within-class distance should be much smaller than
+        # between-class distance in the embedded space.
+        within = []
+        between = []
+        for i in range(0, 120, 7):
+            for j in range(i + 1, 120, 7):
+                distance = np.linalg.norm(embedding[i] - embedding[j])
+                if blobs.labels[i] == blobs.labels[j]:
+                    within.append(distance)
+                else:
+                    between.append(distance)
+        assert np.mean(within) < 0.5 * np.mean(between)
+
+
+class TestSpectralKMeans:
+    def test_recovers_blobs(self, blobs):
+        result = spectral_kmeans(blobs.data, 3, num_neighbors=8, seed=0)
+        assert adjusted_rand_index(blobs.labels, result.labels) > 0.9
+
+    def test_sensitive_to_neighbor_count(self, blobs):
+        # The paper's Fig. 9 point: quality varies with beta.  We only check
+        # the sweep runs and produces a spread of scores.
+        scores = [
+            adjusted_rand_index(
+                blobs.labels,
+                spectral_kmeans(blobs.data, 3, num_neighbors=beta, seed=0).labels,
+            )
+            for beta in (2, 8, 40)
+        ]
+        assert len(scores) == 3
+        assert max(scores) <= 1.0

@@ -1,0 +1,58 @@
+"""Tests for BFS and connected components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.traversal import bfs_order, connected_components, is_connected, reachable_set
+from repro.graph.weighted_graph import WeightedGraph
+
+
+@pytest.fixture
+def two_component_graph():
+    graph = WeightedGraph(6)
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 2, 1.0)
+    graph.add_edge(3, 4, 1.0)
+    return graph
+
+
+class TestBFS:
+    def test_visits_reachable_vertices_only(self, two_component_graph):
+        assert set(bfs_order(two_component_graph, 0)) == {0, 1, 2}
+
+    def test_starts_at_source(self, two_component_graph):
+        assert bfs_order(two_component_graph, 3)[0] == 3
+
+    def test_blocked_vertices_are_not_traversed(self, two_component_graph):
+        assert set(bfs_order(two_component_graph, 0, blocked={1})) == {0}
+
+    def test_blocked_source_rejected(self, two_component_graph):
+        with pytest.raises(ValueError):
+            bfs_order(two_component_graph, 0, blocked={0})
+
+    def test_reachable_set_matches_bfs(self, two_component_graph):
+        assert reachable_set(two_component_graph, 0) == set(bfs_order(two_component_graph, 0))
+
+
+class TestComponents:
+    def test_counts_components_including_isolated(self, two_component_graph):
+        components = connected_components(two_component_graph)
+        assert len(components) == 3  # {0,1,2}, {3,4}, {5}
+
+    def test_skip_vertices_act_as_removed(self, two_component_graph):
+        components = connected_components(two_component_graph, skip={1})
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 1, 1, 2]
+
+    def test_is_connected_detects_disconnection(self, two_component_graph):
+        assert not is_connected(two_component_graph)
+
+    def test_is_connected_true_for_path(self):
+        graph = WeightedGraph(4)
+        for u in range(3):
+            graph.add_edge(u, u + 1, 1.0)
+        assert is_connected(graph)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(WeightedGraph(0))

@@ -1,0 +1,101 @@
+"""Tests for the adjacency-list weighted graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.weighted_graph import WeightedGraph
+
+
+@pytest.fixture
+def triangle_graph():
+    graph = WeightedGraph(4)
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 2, 2.0)
+    graph.add_edge(0, 2, 3.0)
+    return graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = WeightedGraph(3)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGraph(-1)
+
+    def test_add_edge_is_undirected(self, triangle_graph):
+        assert triangle_graph.weight(0, 1) == 1.0
+        assert triangle_graph.weight(1, 0) == 1.0
+
+    def test_self_loop_rejected(self):
+        graph = WeightedGraph(2)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1, 1.0)
+
+    def test_out_of_range_vertex_rejected(self):
+        graph = WeightedGraph(2)
+        with pytest.raises(IndexError):
+            graph.add_edge(0, 5, 1.0)
+
+    def test_overwriting_edge_does_not_double_count(self, triangle_graph):
+        triangle_graph.add_edge(0, 1, 9.0)
+        assert triangle_graph.num_edges == 3
+        assert triangle_graph.weight(0, 1) == 9.0
+
+    def test_from_edges_classmethod(self):
+        graph = WeightedGraph.from_edges(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        assert graph.num_edges == 2
+        assert graph.weight(1, 2) == 0.25
+
+    def test_from_edge_list_and_matrix(self):
+        weights = np.arange(9, dtype=float).reshape(3, 3)
+        graph = WeightedGraph.from_edge_list_and_matrix(3, [(0, 2)], weights)
+        assert graph.weight(0, 2) == weights[0, 2]
+
+
+class TestQueries:
+    def test_degree_and_weighted_degree(self, triangle_graph):
+        assert triangle_graph.degree(0) == 2
+        assert triangle_graph.weighted_degree(0) == pytest.approx(4.0)
+        assert triangle_graph.degree(3) == 0
+
+    def test_weighted_degrees_array(self, triangle_graph):
+        degrees = triangle_graph.weighted_degrees()
+        assert degrees.shape == (4,)
+        assert degrees[3] == 0.0
+
+    def test_neighbors(self, triangle_graph):
+        assert dict(triangle_graph.neighbors(1)) == {0: 1.0, 2: 2.0}
+
+    def test_edges_iterates_each_edge_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+    def test_edge_weight_sum(self, triangle_graph):
+        assert triangle_graph.edge_weight_sum() == pytest.approx(6.0)
+
+    def test_missing_edge_raises(self, triangle_graph):
+        with pytest.raises(KeyError):
+            triangle_graph.weight(0, 3)
+
+    def test_to_dense_round_trip(self, triangle_graph):
+        dense = triangle_graph.to_dense()
+        assert dense[0, 2] == 3.0
+        assert dense[2, 0] == 3.0
+        assert dense[0, 3] == 0.0
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.add_edge(0, 3, 7.0)
+        assert not triangle_graph.has_edge(0, 3)
+
+    def test_subgraph_without_vertices(self, triangle_graph):
+        sub = triangle_graph.subgraph_without_vertices([2])
+        assert sub.num_edges == 1
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(1, 2)
