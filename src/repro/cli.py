@@ -26,12 +26,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import __version__
 from repro.core.pipeline import tmfg_dbht
 from repro.datasets.similarity import similarity_and_dissimilarity
 from repro.dendrogram.export import to_newick
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
+from repro.parallel.kernels import KERNEL_NAMES
+from repro.parallel.scheduler import BACKEND_NAMES, make_backend
 
 FIGURE_ENTRY_POINTS: Dict[str, Callable[..., dict]] = {
     "table2": figures.table2_datasets,
@@ -70,7 +73,29 @@ def _command_cluster(args: argparse.Namespace) -> int:
         dissimilarity = None
     else:
         similarity, dissimilarity = similarity_and_dissimilarity(data)
-    result = tmfg_dbht(similarity, dissimilarity, prefix=args.prefix)
+    if args.workers is not None and args.backend in (None, "serial"):
+        print(
+            "--workers has no effect without --backend thread|process",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    backend = None
+    if args.backend and args.backend != "serial":
+        backend = make_backend(args.backend, num_workers=args.workers)
+    try:
+        result = tmfg_dbht(
+            similarity,
+            dissimilarity,
+            prefix=args.prefix,
+            kernel=args.kernel,
+            backend=backend,
+        )
+    finally:
+        if backend is not None:
+            backend.close()
     labels = result.cut(args.clusters)
     if args.out:
         np.savetxt(args.out, labels, fmt="%d")
@@ -113,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Parallel filtered graphs (TMFG) + DBHT hierarchical clustering",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     cluster = subparsers.add_parser("cluster", help="cluster a data matrix with TMFG + DBHT")
@@ -126,6 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--out", help="write labels to this file (one per line)")
     cluster.add_argument("--newick", help="also write the dendrogram as a Newick file")
+    cluster.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default=None,
+        help="hot-loop kernel for gains/APSP (default: numpy; identical results)",
+    )
+    cluster.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="parallel backend for the APSP source chunks (default: serial)",
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backend (default: cpu count)",
+    )
     cluster.set_defaults(func=_command_cluster)
 
     figure = subparsers.add_parser("figure", help="re-run one of the paper's figures")

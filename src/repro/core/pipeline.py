@@ -51,6 +51,7 @@ def tmfg_dbht(
     backend: Optional[ParallelBackend] = None,
     tracker: Optional[WorkSpanTracker] = None,
     apsp_method: str = "dijkstra",
+    kernel: Optional[str] = None,
 ) -> PipelineResult:
     """Hierarchical clustering with a TMFG filtered graph and the DBHT.
 
@@ -71,7 +72,13 @@ def tmfg_dbht(
         Optional :class:`WorkSpanTracker` collecting work/span per phase.
     apsp_method:
         APSP implementation used by the DBHT: ``"dijkstra"`` (default, the
-        paper's algorithm) or ``"scipy"`` (C implementation, same result).
+        paper's algorithm run as batched CSR kernels), ``"floyd"``
+        (vectorised Floyd-Warshall), or ``"scipy"`` (C implementation, same
+        result).
+    kernel:
+        ``"python"`` or ``"numpy"`` hot-loop kernels for the gain updates
+        and the APSP (see :mod:`repro.parallel.kernels`); ``None`` uses the
+        process-wide default.  All kernels produce identical results.
 
     Returns
     -------
@@ -96,6 +103,7 @@ def tmfg_dbht(
         build_bubble_tree=True,
         tracker=tracker,
         backend=backend,
+        kernel=kernel,
     )
     tmfg_seconds = time.perf_counter() - start
 
@@ -106,6 +114,7 @@ def tmfg_dbht(
         tracker=tracker,
         backend=backend,
         apsp_method=apsp_method,
+        kernel=kernel,
     )
     step_seconds = {"tmfg": tmfg_seconds}
     step_seconds.update(dbht_result.step_seconds)

@@ -75,6 +75,7 @@ def construct_tmfg(
     build_bubble_tree: bool = True,
     tracker: Optional[WorkSpanTracker] = None,
     backend: Optional[ParallelBackend] = None,
+    kernel: Optional[str] = None,
 ) -> TMFGResult:
     """Build a TMFG (or its prefix-batched variant) from a similarity matrix.
 
@@ -94,6 +95,10 @@ def construct_tmfg(
     backend:
         Reserved for the thread-pool backend; per-round insertions are
         independent and can be dispatched through it.
+    kernel:
+        Gain-update kernel (``"python"`` per-face loop or ``"numpy"`` bulk
+        matrix argmax; see :mod:`repro.parallel.kernels`).  ``None`` uses
+        the process-wide default.  Both produce identical graphs.
     """
     if prefix < 1:
         raise ValueError("prefix must be at least 1")
@@ -120,9 +125,8 @@ def construct_tmfg(
     outer_face: Triangle = triangle_key(v1, v2, v3)
 
     remaining = [v for v in range(n) if v not in set(clique)]
-    gain_table = GainTable(similarity, remaining)
-    for face in faces:
-        gain_table.add_face(face)
+    gain_table = GainTable(similarity, remaining, kernel=kernel)
+    gain_table.add_faces(list(faces))
     # Initialisation: O(n^2) work for the row sums, O(n) for the gains.
     tracker.add("tmfg", work=float(n * n + 4 * n), span=math.log2(n) + 1 if n > 1 else 1.0)
 
@@ -139,6 +143,12 @@ def construct_tmfg(
         num_remaining = gain_table.num_remaining
         inserted_vertices = [pair.vertex for pair in batch]
         gain_table.remove_vertices(inserted_vertices)
+        # The batch's faces are distinct (one best vertex per face), so the
+        # structural updates can run per pair while the gain recomputation
+        # for all newly created faces is deferred into one bulk call — the
+        # round then costs one masked argmax over the stacked gain matrix
+        # instead of per-face Python work.
+        round_new_faces: List[Triangle] = []
         for pair in batch:
             vertex, face = pair.vertex, pair.face
             a, b, c = triangle_corners(face)
@@ -155,8 +165,9 @@ def construct_tmfg(
             gain_table.remove_face(face)
             for new_face in new_faces:
                 faces.add(new_face)
-                gain_table.add_face(new_face)
+                round_new_faces.append(new_face)
             insertion_order.append((vertex, face))
+        gain_table.add_faces(round_new_faces)
         # Work: sorting the per-face gains plus recomputing gains for the
         # affected and newly-created faces (each a vectorised O(|V|) scan).
         affected = 3 * len(batch)

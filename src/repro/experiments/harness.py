@@ -69,11 +69,19 @@ def run_method(
     seed: int = 0,
     compute_ami: bool = False,
     spectral_neighbors: int = 10,
+    kernel: Optional[str] = None,
+    backend: Optional[object] = None,
 ) -> MethodRun:
     """Run ``method`` on ``dataset`` and evaluate against its labels.
 
     ``num_clusters`` defaults to the number of ground-truth classes, which
-    is how the paper cuts every dendrogram.
+    is how the paper cuts every dendrogram.  ``kernel`` is the single switch
+    between the ``"python"`` and ``"numpy"`` hot-loop kernels of the
+    TMFG/DBHT pipelines (identical results; see
+    :mod:`repro.parallel.kernels`); ``backend`` is a
+    :class:`~repro.parallel.scheduler.ParallelBackend` instance or name
+    (``"serial"``/``"thread"``/``"process"``) used for the parallelisable
+    phases.
     """
     num_clusters = dataset.num_classes if num_clusters is None else num_clusters
     name = method.upper()
@@ -85,7 +93,9 @@ def run_method(
     if par_match:
         prefix = int(par_match.group(1))
         similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
-        result = tmfg_dbht(similarity, dissimilarity, prefix=prefix)
+        result = tmfg_dbht(
+            similarity, dissimilarity, prefix=prefix, kernel=kernel, backend=backend
+        )
         labels = result.cut(num_clusters)
         step_seconds = dict(result.step_seconds)
         extras["tracker"] = result.tracker
@@ -97,16 +107,16 @@ def run_method(
         # steps (triangle-enumeration bubble tree, BFS edge direction).
         similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
         tmfg_start = time.perf_counter()
-        tmfg = construct_tmfg(similarity, prefix=1, build_bubble_tree=False)
+        tmfg = construct_tmfg(similarity, prefix=1, build_bubble_tree=False, kernel=kernel)
         step_seconds["tmfg"] = time.perf_counter() - tmfg_start
         dbht_start = time.perf_counter()
-        result = classic_dbht(tmfg.graph, dissimilarity)
+        result = classic_dbht(tmfg.graph, dissimilarity, kernel=kernel, backend=backend)
         step_seconds["dbht"] = time.perf_counter() - dbht_start
         labels = result.cut(num_clusters)
         extras["edge_weight_sum"] = tmfg.edge_weight_sum()
     elif name == "PMFG-DBHT":
         similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
-        result = pmfg_dbht(similarity, dissimilarity)
+        result = pmfg_dbht(similarity, dissimilarity, kernel=kernel, backend=backend)
         labels = result.cut(num_clusters)
     elif name == "PMFG":
         similarity, _ = similarity_and_dissimilarity(dataset.data)

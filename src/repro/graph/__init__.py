@@ -5,8 +5,10 @@ system depends on:
 
 * validation of dense similarity / dissimilarity matrices
   (:mod:`repro.graph.matrix`),
-* an adjacency-list weighted graph (:mod:`repro.graph.weighted_graph`),
-* Dijkstra single-source and all-pairs shortest paths
+* an adjacency-list weighted graph for construction
+  (:mod:`repro.graph.weighted_graph`) and its frozen CSR form for
+  vectorised consumption (:mod:`repro.graph.csr`),
+* Dijkstra single-source and batched CSR all-pairs shortest paths
   (:mod:`repro.graph.shortest_paths`),
 * breadth-first search and connected components
   (:mod:`repro.graph.traversal`),
@@ -16,6 +18,7 @@ system depends on:
   (:mod:`repro.graph.faces`).
 """
 
+from repro.graph.csr import CSRGraph
 from repro.graph.faces import Triangle, triangle_key
 from repro.graph.matrix import (
     correlation_like,
@@ -23,11 +26,16 @@ from repro.graph.matrix import (
     validate_similarity_matrix,
 )
 from repro.graph.planarity import is_planar
-from repro.graph.shortest_paths import all_pairs_shortest_paths, dijkstra
+from repro.graph.shortest_paths import (
+    all_pairs_shortest_paths,
+    dijkstra,
+    shortest_paths_from_sources,
+)
 from repro.graph.traversal import bfs_order, connected_components
 from repro.graph.weighted_graph import WeightedGraph
 
 __all__ = [
+    "CSRGraph",
     "Triangle",
     "triangle_key",
     "correlation_like",
@@ -36,6 +44,7 @@ __all__ = [
     "is_planar",
     "all_pairs_shortest_paths",
     "dijkstra",
+    "shortest_paths_from_sources",
     "bfs_order",
     "connected_components",
     "WeightedGraph",

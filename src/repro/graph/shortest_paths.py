@@ -2,31 +2,74 @@
 
 DBHT needs all-pairs shortest paths (APSP) on the TMFG/PMFG using the
 *dissimilarity* weights (Line 7 of Algorithm 4).  The filtered graph has
-Theta(n) edges, so running Dijkstra from every source costs
-O(n^2 log n) work, matching what the paper's implementation does.  Each
-single-source computation is independent, which is where the paper gets its
-parallelism; here the sources can optionally be mapped over a backend.
+Theta(n) edges, so running Dijkstra from every source costs O(n^2 log n)
+work, matching what the paper's implementation does.  Each single-source
+computation is independent, which is where the paper gets its parallelism.
+
+The computation runs on the frozen CSR form of the graph
+(:class:`~repro.graph.csr.CSRGraph`) through one of two registered kernels
+(see :mod:`repro.parallel.kernels`):
+
+* ``"python"`` — an array-heap Dijkstra per source.  Same relaxation order
+  and float arithmetic as the adjacency-list reference implementation
+  (:func:`dijkstra`), so the distances are byte-identical, but it runs on
+  flat typed arrays instead of per-edge Python tuples.
+* ``"numpy"`` — a batched Bellman-Ford-style relaxation: all sources of a
+  chunk advance one hop per round via a single gather
+  (``dist[:, indices] + weights``) and one segmented min
+  (``np.minimum.reduceat``).  Because the CSR graph is symmetric, row ``v``
+  is exactly the set of in-arcs of ``v``, so the CSR arrays double as the
+  relaxation's group index.  Converges in hop-diameter rounds, which is
+  small on filtered graphs.
+
+Sources are chunked over a :class:`~repro.parallel.scheduler.ParallelBackend`;
+the chunk worker is a module-level function over picklable CSR arrays, so
+the process-pool backend works out of the box.  Negative weights are
+rejected up front at graph freeze time (``CSRGraph.min_weight``) instead of
+mid-traversal after partial work.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Optional
+from functools import partial
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.graph.csr import CSRGraph
 from repro.graph.weighted_graph import WeightedGraph
-from repro.parallel.scheduler import ParallelBackend, get_backend
+from repro.parallel.kernels import get_kernel, register_kernel, resolve_kernel_name
+from repro.parallel.scheduler import ParallelBackend, get_backend, make_backend
+
+GraphLike = Union[WeightedGraph, CSRGraph]
+
+#: Sources relaxed together by the numpy kernel.  The round's working set is
+#: ``arcs x block`` floats; a narrow block keeps it inside the CPU cache,
+#: which dominates the kernel's throughput (wider blocks are memory-bound).
+_RELAX_BLOCK_SOURCES = 16
 
 
-def dijkstra(graph: WeightedGraph, source: int) -> np.ndarray:
+def _as_csr(graph: GraphLike) -> CSRGraph:
+    return graph if isinstance(graph, CSRGraph) else graph.to_csr()
+
+
+def dijkstra(graph: GraphLike, source: int) -> np.ndarray:
     """Single-source shortest path distances from ``source``.
 
-    Edge weights must be non-negative.  Unreachable vertices get ``inf``.
+    Edge weights must be non-negative (validated up front, before any
+    traversal work).  Unreachable vertices get ``inf``.  For a
+    :class:`WeightedGraph` this is the adjacency-list reference
+    implementation; a :class:`CSRGraph` takes the array-heap fast path.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
+    if isinstance(graph, CSRGraph):
+        graph.validate_non_negative()
+        return _apsp_python(graph.indptr, graph.indices, graph.weights, [source])[0]
+    if graph.has_negative_weights():
+        raise ValueError("Dijkstra requires non-negative edge weights")
     distances = np.full(n, np.inf, dtype=float)
     distances[source] = 0.0
     visited = np.zeros(n, dtype=bool)
@@ -37,8 +80,6 @@ def dijkstra(graph: WeightedGraph, source: int) -> np.ndarray:
             continue
         visited[u] = True
         for v, weight in graph.neighbors(u):
-            if weight < 0:
-                raise ValueError("Dijkstra requires non-negative edge weights")
             candidate = dist_u + weight
             if candidate < distances[v]:
                 distances[v] = candidate
@@ -47,64 +88,217 @@ def dijkstra(graph: WeightedGraph, source: int) -> np.ndarray:
 
 
 def all_pairs_shortest_paths(
-    graph: WeightedGraph,
-    backend: Optional[ParallelBackend] = None,
+    graph: GraphLike,
+    backend: Optional[Union[ParallelBackend, str]] = None,
     method: str = "dijkstra",
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """All-pairs shortest path distance matrix of a sparse graph.
 
-    ``method`` selects the implementation:
+    ``method`` selects the algorithm:
 
     * ``"dijkstra"`` (default) — one Dijkstra per source, the algorithm the
-      paper's implementation uses.  Sources are independent; with a thread
-      backend they are dispatched as a parallel map.
-    * ``"scipy"`` — SciPy's C implementation of the same computation
+      paper's implementation uses, run as batched CSR kernels with the
+      sources chunked over the backend.  ``kernel`` picks the
+      implementation (``"python"``/``"numpy"``, default the registry's
+      process-wide default; both produce identical distances).
+    * ``"floyd"`` — a vectorised Floyd-Warshall on the dense matrix.  O(n^3)
+      work but only ``n`` numpy operations, which wins for small ``n``;
+      distances may differ from Dijkstra's in the last float ulp because
+      path sums associate differently.
+    * ``"scipy"`` — SciPy's C implementation
       (``scipy.sparse.csgraph.shortest_path``).  The paper notes that APSP
       becomes the bottleneck of PAR-TDBHT and that a faster APSP would
-      directly improve the end-to-end time; this backend quantifies that
-      head-room (see ``benchmarks/bench_ablation_apsp.py``).
-
-    Both methods return exactly the same distances.
+      directly improve the end-to-end time; this quantifies that head-room
+      (see ``benchmarks/bench_apsp_backends.py``).
     """
     n = graph.num_vertices
     if n == 0:
         return np.zeros((0, 0))
     if method == "scipy":
         return _scipy_apsp(graph)
+    if method == "floyd":
+        csr = _as_csr(graph)
+        csr.validate_non_negative()
+        return _floyd_warshall(csr)
     if method != "dijkstra":
-        raise ValueError(f"unknown APSP method {method!r}; expected 'dijkstra' or 'scipy'")
-    backend = get_backend(backend)
-    rows = backend.map(lambda source: dijkstra(graph, source), list(range(n)))
-    return np.vstack(rows)
+        raise ValueError(
+            f"unknown APSP method {method!r}; expected 'dijkstra', 'floyd', or 'scipy'"
+        )
+    return _batched_sssp(_as_csr(graph), np.arange(n), backend, kernel)
 
 
-def _scipy_apsp(graph: WeightedGraph) -> np.ndarray:
+def shortest_paths_from_sources(
+    graph: GraphLike,
+    sources: Sequence[int],
+    backend: Optional[Union[ParallelBackend, str]] = None,
+    kernel: Optional[str] = None,
+) -> np.ndarray:
+    """Distances from a subset of sources (one row per source, in order)."""
+    source_array = np.asarray(list(sources), dtype=np.int64)
+    if source_array.size == 0:
+        return np.zeros((0, graph.num_vertices))
+    return _batched_sssp(_as_csr(graph), source_array, backend, kernel)
+
+
+def _batched_sssp(
+    csr: CSRGraph,
+    sources: np.ndarray,
+    backend: Optional[Union[ParallelBackend, str]],
+    kernel: Optional[str],
+) -> np.ndarray:
+    """Chunk ``sources`` over the backend and run the selected kernel."""
+    csr.validate_non_negative()
+    if sources.size and (
+        int(sources.min()) < 0 or int(sources.max()) >= csr.num_vertices
+    ):
+        raise IndexError(
+            f"source out of range [0, {csr.num_vertices}): "
+            f"{[int(s) for s in sources if not 0 <= s < csr.num_vertices]}"
+        )
+    kernel_name = resolve_kernel_name(kernel, "apsp")
+    # A backend given by name is constructed here and therefore owned (and
+    # closed) here; instances stay under the caller's control.
+    owns_backend = isinstance(backend, str)
+    resolved = make_backend(backend) if owns_backend else get_backend(backend)
+    try:
+        num_chunks = min(len(sources), max(1, resolved.num_workers))
+        chunks = np.array_split(sources, num_chunks)
+        worker = partial(_sssp_chunk, csr.indptr, csr.indices, csr.weights, kernel_name)
+        return np.vstack(resolved.map(worker, chunks))
+    finally:
+        if owns_backend:
+            resolved.close()
+
+
+def _sssp_chunk(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    kernel_name: str,
+    sources: np.ndarray,
+) -> np.ndarray:
+    """Module-level chunk worker: picklable for the process backend."""
+    return get_kernel("apsp", kernel_name)(indptr, indices, weights, sources)
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def _apsp_python(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    sources: Sequence[int],
+) -> np.ndarray:
+    """Array-heap Dijkstra per source.
+
+    The CSR arrays are lowered to Python lists once per chunk so the inner
+    relaxation loop touches no numpy scalars (which dominate the cost of the
+    naive per-edge loop).
+    """
+    n = indptr.size - 1
+    rows = np.full((len(sources), n), np.inf, dtype=float)
+    starts = indptr.tolist()
+    neighbor_list = indices.tolist()
+    weight_list = weights.tolist()
+    inf = float("inf")
+    for row_index, source in enumerate(sources):
+        source = int(source)
+        distances = [inf] * n
+        distances[source] = 0.0
+        visited = [False] * n
+        heap = [(0.0, source)]
+        push, pop = heapq.heappush, heapq.heappop
+        while heap:
+            dist_u, u = pop(heap)
+            if visited[u]:
+                continue
+            visited[u] = True
+            for arc in range(starts[u], starts[u + 1]):
+                v = neighbor_list[arc]
+                candidate = dist_u + weight_list[arc]
+                if candidate < distances[v]:
+                    distances[v] = candidate
+                    push(heap, (candidate, v))
+        rows[row_index] = distances
+    return rows
+
+
+def _apsp_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    sources: Sequence[int],
+) -> np.ndarray:
+    """Batched relaxation: every source advances one hop per numpy round.
+
+    Distances are kept transposed (vertices x sources) so the per-round
+    gather ``dist[indices]`` reads contiguous rows, and the in-arc segments
+    of the symmetric CSR give the segmented min directly.  Converges in
+    hop-diameter rounds; the result is byte-identical to Dijkstra's because
+    every path's length is accumulated in the same source-to-target order.
+    """
+    n = indptr.size - 1
+    sources = np.asarray(sources, dtype=np.int64)
+    dist = np.full((sources.size, n), np.inf, dtype=float)
+    dist[np.arange(sources.size), sources] = 0.0
+    if indices.size == 0 or sources.size == 0:
+        return dist
+    # ``reduceat`` cannot express empty segments, so reduce only over the
+    # vertices that have in-arcs (their starts partition the arc array
+    # exactly) and scatter into the full rows; isolated vertices keep inf.
+    active = np.flatnonzero(np.diff(indptr) > 0)
+    segment_starts = indptr[:-1][active]
+    all_active = active.size == n
+    weight_column = weights[:, None]
+    for begin in range(0, sources.size, _RELAX_BLOCK_SOURCES):
+        block_sources = sources[begin : begin + _RELAX_BLOCK_SOURCES]
+        width = block_sources.size
+        transposed = np.full((n, width), np.inf, dtype=float)
+        transposed[block_sources, np.arange(width)] = 0.0
+        candidates = np.empty((indices.size, width), dtype=float)
+        for _ in range(n):
+            np.take(transposed, indices, axis=0, out=candidates)
+            candidates += weight_column
+            reduced = np.minimum.reduceat(candidates, segment_starts, axis=0)
+            if all_active:
+                relaxed = reduced
+            else:
+                relaxed = np.full((n, width), np.inf, dtype=float)
+                relaxed[active] = reduced
+            np.minimum(transposed, relaxed, out=relaxed)
+            if np.array_equal(relaxed, transposed):
+                break
+            transposed, relaxed = relaxed, transposed
+        dist[begin : begin + width] = transposed.T
+    return dist
+
+
+register_kernel("apsp", "python", _apsp_python)
+register_kernel("apsp", "numpy", _apsp_numpy)
+
+
+def _floyd_warshall(csr: CSRGraph) -> np.ndarray:
+    """Vectorised Floyd-Warshall on the dense matrix (small-``n`` fallback)."""
+    dist = csr.to_dense(fill=np.inf)
+    for k in range(csr.num_vertices):
+        np.minimum(dist, np.add.outer(dist[:, k], dist[k, :]), out=dist)
+    return dist
+
+
+def _scipy_apsp(graph: GraphLike) -> np.ndarray:
     """APSP via scipy.sparse.csgraph (identical distances, C speed)."""
     from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import shortest_path
 
     n = graph.num_vertices
-    rows, cols, data = [], [], []
-    for u, v, weight in graph.edges():
-        # csgraph treats stored zeros as missing edges; clamp to a tiny
-        # positive value so zero-dissimilarity edges stay in the graph.
-        weight = max(float(weight), 1e-12)
-        rows.extend((u, v))
-        cols.extend((v, u))
-        data.extend((weight, weight))
-    sparse = csr_matrix((data, (rows, cols)), shape=(n, n))
+    # csgraph treats stored zeros as missing edges; clamp to a tiny
+    # positive value so zero-dissimilarity edges stay in the graph.
+    csr = _as_csr(graph)
+    sparse = csr_matrix(
+        (np.maximum(csr.weights, 1e-12), csr.indices, csr.indptr), shape=(n, n)
+    )
     return shortest_path(sparse, method="D", directed=False)
-
-
-def shortest_paths_from_sources(
-    graph: WeightedGraph,
-    sources,
-    backend: Optional[ParallelBackend] = None,
-) -> np.ndarray:
-    """Distances from a subset of sources (one row per source, in order)."""
-    backend = get_backend(backend)
-    source_list = list(sources)
-    rows = backend.map(lambda source: dijkstra(graph, source), source_list)
-    if not rows:
-        return np.zeros((0, graph.num_vertices))
-    return np.vstack(rows)

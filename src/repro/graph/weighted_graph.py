@@ -114,6 +114,23 @@ class WeightedGraph:
         """Total weight over all (undirected) edges."""
         return float(sum(weight for _, _, weight in self.edges()))
 
+    def has_negative_weights(self) -> bool:
+        """Whether any edge has a negative weight (O(m) scan)."""
+        return any(
+            weight < 0 for adjacency in self._adjacency for weight in adjacency.values()
+        )
+
+    def to_csr(self) -> "CSRGraph":
+        """Freeze into an immutable :class:`~repro.graph.csr.CSRGraph`.
+
+        The CSR form is what the vectorised shortest-path kernels and the
+        process-pool backend operate on; freezing also validates the weights
+        once (``min_weight``) so traversals can fail fast.
+        """
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_weighted_graph(self)
+
     def to_dense(self, fill: float = 0.0) -> np.ndarray:
         """Dense weight matrix (``fill`` where no edge exists, 0 on the diagonal)."""
         dense = np.full((self._num_vertices, self._num_vertices), fill, dtype=float)

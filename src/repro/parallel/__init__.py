@@ -17,6 +17,14 @@ substitutes:
 
 from repro.parallel.atomics import WriteAdd, WriteMax, WriteMin
 from repro.parallel.cost_model import PhaseCost, WorkSpanTracker, predicted_speedup
+from repro.parallel.kernels import (
+    available_kernels,
+    default_kernel,
+    get_kernel,
+    kernel_scope,
+    register_kernel,
+    set_default_kernel,
+)
 from repro.parallel.primitives import (
     parallel_filter,
     parallel_for,
@@ -24,7 +32,15 @@ from repro.parallel.primitives import (
     parallel_max,
     parallel_sort,
 )
-from repro.parallel.scheduler import ParallelBackend, SerialBackend, ThreadBackend, get_backend
+from repro.parallel.scheduler import (
+    ParallelBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    make_backend,
+    set_backend,
+)
 
 __all__ = [
     "WriteAdd",
@@ -33,13 +49,22 @@ __all__ = [
     "PhaseCost",
     "WorkSpanTracker",
     "predicted_speedup",
+    "available_kernels",
+    "default_kernel",
+    "get_kernel",
+    "kernel_scope",
+    "register_kernel",
+    "set_default_kernel",
     "parallel_filter",
     "parallel_for",
     "parallel_map",
     "parallel_max",
     "parallel_sort",
     "ParallelBackend",
+    "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
     "get_backend",
+    "make_backend",
+    "set_backend",
 ]

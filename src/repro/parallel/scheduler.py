@@ -17,7 +17,7 @@ does not care simply calls :func:`get_backend`.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -55,13 +55,10 @@ class SerialBackend(ParallelBackend):
         return [func(item) for item in items]
 
 
-class ThreadBackend(ParallelBackend):
-    """Run tasks on a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+class _ExecutorBackend(ParallelBackend):
+    """Shared pool management for the executor-based backends."""
 
-    Tasks must be thread-safe; the core algorithms only use this backend for
-    independent per-item work combined with the atomic cells in
-    :mod:`repro.parallel.atomics`.
-    """
+    _executor_cls: type
 
     def __init__(self, num_workers: Optional[int] = None) -> None:
         if num_workers is None:
@@ -69,7 +66,7 @@ class ThreadBackend(ParallelBackend):
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         self.num_workers = num_workers
-        self._pool = ThreadPoolExecutor(max_workers=num_workers)
+        self._pool = self._executor_cls(max_workers=num_workers)
 
     def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
         if len(items) <= 1:
@@ -78,6 +75,52 @@ class ThreadBackend(ParallelBackend):
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+
+
+class ThreadBackend(_ExecutorBackend):
+    """Run tasks on a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+    Tasks must be thread-safe; the core algorithms only use this backend for
+    independent per-item work combined with the atomic cells in
+    :mod:`repro.parallel.atomics`.
+    """
+
+    _executor_cls = ThreadPoolExecutor
+
+
+class ProcessBackend(_ExecutorBackend):
+    """Run tasks on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Unlike the thread backend this sidesteps the GIL entirely, but both the
+    function and its arguments must be picklable: a module-level function
+    (or a :func:`functools.partial` of one) over flat numpy arrays.  The CSR
+    graph representation (:mod:`repro.graph.csr`) exists in part so the APSP
+    source chunks can be shipped to workers this way.
+    """
+
+    _executor_cls = ProcessPoolExecutor
+
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+_BACKEND_FACTORIES = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(name: str, num_workers: Optional[int] = None) -> ParallelBackend:
+    """Construct a backend from its name (``serial``/``thread``/``process``)."""
+    try:
+        factory = _BACKEND_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        ) from None
+    if name == "serial":
+        return factory()
+    return factory(num_workers=num_workers)
 
 
 _DEFAULT_BACKEND: ParallelBackend = SerialBackend()
@@ -90,5 +133,16 @@ def set_backend(backend: ParallelBackend) -> None:
 
 
 def get_backend(backend: Optional[ParallelBackend] = None) -> ParallelBackend:
-    """Return ``backend`` if given, otherwise the process-wide default."""
+    """Return ``backend`` if given, otherwise the process-wide default.
+
+    Deliberately does *not* accept backend names: a name constructs a fresh
+    pool the caller must ``close()``, so the call sites that support names
+    (e.g. the APSP entry points, the CLI) resolve them with
+    :func:`make_backend` and own the resulting pool explicitly.
+    """
+    if isinstance(backend, str):
+        raise TypeError(
+            f"get_backend takes an instance or None, not the name {backend!r}; "
+            "construct (and close) named backends with make_backend()"
+        )
     return backend if backend is not None else _DEFAULT_BACKEND

@@ -68,6 +68,56 @@ class TestClusterCommand:
             main(["cluster", str(path), "--clusters", "2"])
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestKernelAndBackendFlags:
+    def test_cluster_with_kernel_and_thread_backend(self, data_csv, tmp_path):
+        path, _ = data_csv
+        out = tmp_path / "labels.txt"
+        exit_code = main(
+            [
+                "cluster",
+                str(path),
+                "--clusters",
+                "3",
+                "--kernel",
+                "python",
+                "--backend",
+                "thread",
+                "--workers",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert exit_code == 0
+        assert np.loadtxt(out, dtype=int).shape == (30,)
+
+    def test_unknown_kernel_rejected(self, data_csv):
+        path, _ = data_csv
+        with pytest.raises(SystemExit):
+            main(["cluster", str(path), "--clusters", "2", "--kernel", "fortran"])
+
+    def test_workers_without_parallel_backend_rejected(self, data_csv, capsys):
+        path, _ = data_csv
+        assert main(["cluster", str(path), "--clusters", "2", "--workers", "4"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_non_positive_workers_rejected(self, data_csv, capsys):
+        path, _ = data_csv
+        args = ["cluster", str(path), "--clusters", "2", "--backend", "thread"]
+        assert main(args + ["--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
 class TestFigureCommand:
     def test_list_figures(self, capsys):
         assert main(["list-figures"]) == 0

@@ -8,11 +8,18 @@ import pytest
 
 from repro.parallel.scheduler import (
     ParallelBackend,
+    ProcessBackend,
     SerialBackend,
     ThreadBackend,
     get_backend,
+    make_backend,
     set_backend,
 )
+
+
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
 
 
 class TestSerialBackend:
@@ -69,6 +76,47 @@ class TestThreadBackend:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             ThreadBackend(num_workers=0)
+
+
+class TestProcessBackend:
+    def test_map_matches_serial(self):
+        backend = ProcessBackend(num_workers=2)
+        try:
+            assert backend.map(_square, list(range(8))) == [x * x for x in range(8)]
+        finally:
+            backend.close()
+
+    def test_single_item_runs_inline(self):
+        backend = ProcessBackend(num_workers=2)
+        try:
+            assert backend.map(_square, [3]) == [9]
+        finally:
+            backend.close()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(num_workers=0)
+
+
+class TestMakeBackend:
+    def test_names_resolve_to_backend_classes(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        thread = make_backend("thread", num_workers=2)
+        try:
+            assert isinstance(thread, ThreadBackend)
+            assert thread.num_workers == 2
+        finally:
+            thread.close()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend("gpu")
+
+    def test_get_backend_rejects_names(self):
+        # Names construct fresh pools the caller must own; get_backend
+        # points to make_backend instead of leaking one silently.
+        with pytest.raises(TypeError):
+            get_backend("thread")
 
 
 class TestDefaultBackend:

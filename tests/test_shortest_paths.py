@@ -106,7 +106,13 @@ class TestAPSP:
     def test_unknown_method_rejected(self):
         graph = _random_graph(5, 0.5, 1)
         with pytest.raises(ValueError):
-            all_pairs_shortest_paths(graph, method="floyd")
+            all_pairs_shortest_paths(graph, method="bellman-ford-johnson")
+
+    def test_floyd_method_matches_dijkstra(self):
+        graph = _random_graph(24, 0.3, 17)
+        dijkstra_result = all_pairs_shortest_paths(graph, method="dijkstra")
+        floyd_result = all_pairs_shortest_paths(graph, method="floyd")
+        np.testing.assert_allclose(floyd_result, dijkstra_result, rtol=1e-9)
 
     def test_subset_of_sources(self):
         graph = _random_graph(12, 0.5, 5)
