@@ -1,10 +1,15 @@
 """Command-line interface.
 
-Two subcommands cover the library's main workflows without writing Python:
+Three subcommands cover the library's main workflows without writing Python:
 
 ``cluster``
     Cluster a CSV/NPY matrix of time series (one object per row) with
     TMFG + DBHT and write the flat labels (and optionally a Newick tree).
+
+``stream``
+    Slide a rolling correlation window across a return stream (one asset
+    per row), re-clustering every ``--hop`` observations with warm-started
+    TMFG rebuilds, and report per-tick timings and cluster drift.
 
 ``figure``
     Re-run one of the paper's figure reproductions and print its rows.
@@ -14,6 +19,7 @@ Examples
 ::
 
     python -m repro cluster data.csv --clusters 5 --prefix 10 --out labels.csv
+    python -m repro stream returns.csv --clusters 5 --window 250 --hop 5 --json ticks.json
     python -m repro figure fig6 --scale 0.02
     python -m repro list-figures
 """
@@ -21,6 +27,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -32,9 +39,10 @@ from repro.datasets.similarity import similarity_and_dissimilarity
 from repro.dendrogram.export import to_newick
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_stream_ticks, format_table
 from repro.parallel.kernels import KERNEL_NAMES
 from repro.parallel.scheduler import BACKEND_NAMES, make_backend
+from repro.streaming.runner import StreamingPipeline
 
 FIGURE_ENTRY_POINTS: Dict[str, Callable[..., dict]] = {
     "table2": figures.table2_datasets,
@@ -66,6 +74,22 @@ def _load_matrix(path: str) -> np.ndarray:
     return matrix
 
 
+def _validate_workers(args: argparse.Namespace) -> Optional[str]:
+    """Error message for an invalid --workers/--backend combination, or None."""
+    if args.workers is not None and args.backend in (None, "serial"):
+        return "--workers has no effect without --backend thread|process"
+    if args.workers is not None and args.workers < 1:
+        return "--workers must be at least 1"
+    return None
+
+
+def _make_cli_backend(args: argparse.Namespace):
+    """Construct the backend requested on the command line (caller closes it)."""
+    if args.backend and args.backend != "serial":
+        return make_backend(args.backend, num_workers=args.workers)
+    return None
+
+
 def _command_cluster(args: argparse.Namespace) -> int:
     data = _load_matrix(args.input)
     if args.precomputed:
@@ -73,18 +97,11 @@ def _command_cluster(args: argparse.Namespace) -> int:
         dissimilarity = None
     else:
         similarity, dissimilarity = similarity_and_dissimilarity(data)
-    if args.workers is not None and args.backend in (None, "serial"):
-        print(
-            "--workers has no effect without --backend thread|process",
-            file=sys.stderr,
-        )
+    error = _validate_workers(args)
+    if error:
+        print(error, file=sys.stderr)
         return 2
-    if args.workers is not None and args.workers < 1:
-        print("--workers must be at least 1", file=sys.stderr)
-        return 2
-    backend = None
-    if args.backend and args.backend != "serial":
-        backend = make_backend(args.backend, num_workers=args.workers)
+    backend = _make_cli_backend(args)
     try:
         result = tmfg_dbht(
             similarity,
@@ -110,6 +127,84 @@ def _command_cluster(args: argparse.Namespace) -> int:
     print(f"clusters: {len(sizes)}  sizes: {sizes.tolist()}")
     timing = "  ".join(f"{k}={v:.2f}s" for k, v in result.step_seconds.items())
     print(f"timings: {timing}")
+    return 0
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    returns = _load_matrix(args.input)
+    error = _validate_workers(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    backend = _make_cli_backend(args)
+    try:
+        pipeline = StreamingPipeline(
+            returns,
+            window=args.window,
+            hop=args.hop,
+            num_clusters=args.clusters,
+            prefix=args.prefix,
+            warm_start=not args.cold,
+            kernel=args.kernel,
+            backend=backend,
+            max_ticks=args.max_ticks,
+        )
+        result = pipeline.run()
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    finally:
+        if backend is not None:
+            backend.close()
+    mode = "cold" if args.cold else "warm"
+    print(
+        format_stream_ticks(
+            result.ticks,
+            title=f"Streaming TMFG+DBHT ({mode}, window={args.window}, hop={args.hop})",
+        )
+    )
+    stats = result.warm_stats
+    summary = f"ticks: {result.num_ticks}  mean tick: {result.mean_tick_seconds():.4f}s"
+    if not args.cold:
+        summary += (
+            f"  warm replay: {stats.round_replay_rate:.1%} of rounds "
+            f"({stats.full_replays}/{stats.warm_attempts} full)"
+        )
+    print(summary)
+    drift = result.mean_drift_ari()
+    if drift is not None:
+        print(f"mean consecutive-tick drift: ARI={drift:.4f}")
+    if args.out and result.labels is not None:
+        np.savetxt(args.out, result.labels, fmt="%d")
+        print(f"wrote final-tick labels to {args.out}")
+    if args.json:
+        payload = {
+            "window": args.window,
+            "hop": args.hop,
+            "clusters": args.clusters,
+            "warm": not args.cold,
+            "ticks": [
+                {
+                    "tick": tick.tick,
+                    "start": tick.start,
+                    "stop": tick.stop,
+                    "num_clusters": tick.num_clusters,
+                    "warm_started": tick.warm_started,
+                    "warm_rounds": tick.warm_rounds,
+                    "rounds": tick.rounds,
+                    "step_seconds": tick.step_seconds,
+                    "drift_ari": tick.drift_ari,
+                    "drift_ami": tick.drift_ami,
+                }
+                for tick in result.ticks
+            ],
+            "mean_step_seconds": result.mean_step_seconds(),
+            "warm_full_replay_rate": stats.full_replay_rate,
+            "warm_round_replay_rate": stats.round_replay_rate,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote per-tick report to {args.json}")
     return 0
 
 
@@ -173,6 +268,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for the thread/process backend (default: cpu count)",
     )
     cluster.set_defaults(func=_command_cluster)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="rolling-window streaming clustering of a return stream",
+    )
+    stream.add_argument("input", help="CSV or .npy return matrix, one asset per row")
+    stream.add_argument("--clusters", type=int, required=True, help="flat clusters per tick")
+    stream.add_argument("--window", type=int, required=True, help="observations per window")
+    stream.add_argument("--hop", type=int, default=1, help="observations per tick (default 1)")
+    stream.add_argument("--prefix", type=int, default=1, help="TMFG prefix size (1 = exact)")
+    stream.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable TMFG warm starts (identical labels; cold-rebuild timing)",
+    )
+    stream.add_argument("--max-ticks", type=int, default=None, help="stop after this many ticks")
+    stream.add_argument("--out", help="write the final tick's labels to this file")
+    stream.add_argument("--json", help="write the per-tick report as JSON to this file")
+    stream.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default=None,
+        help="hot-loop kernel for gains/APSP (default: numpy; identical results)",
+    )
+    stream.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="parallel backend for the APSP source chunks (default: serial)",
+    )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backend (default: cpu count)",
+    )
+    stream.set_defaults(func=_command_stream)
 
     figure = subparsers.add_parser("figure", help="re-run one of the paper's figures")
     figure.add_argument("name", help="figure id, e.g. fig6 (see list-figures)")

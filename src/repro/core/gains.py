@@ -85,6 +85,38 @@ class GainTable:
                 pairs.append(VertexFacePair(vertex=vertex, face=face, gain=gain))
         return pairs
 
+    def argmax_pair(self) -> Optional[VertexFacePair]:
+        """The single best pair under the ``VertexFacePair.sort_key`` order.
+
+        Equivalent to ``max(self.best_pairs(), key=sort_key)`` but runs as
+        one scan over the per-face bests with plain float comparisons — the
+        tie-break keys are only evaluated on exact gain ties, which are rare
+        with real-valued similarities.  This is the per-round gain check of
+        the TMFG warm-start replay, where it replaces building and sorting
+        the full candidate list.  Returns ``None`` when no face has a
+        remaining candidate.
+        """
+        best_gain = float("-inf")
+        best_vertex: Optional[int] = None
+        best_face: Optional[Triangle] = None
+        for face, (gain, vertex) in self._best.items():
+            if vertex is None:
+                continue
+            if best_vertex is None or gain > best_gain:
+                best_gain, best_vertex, best_face = gain, vertex, face
+            elif gain == best_gain:
+                # sort_key orders by (gain, -vertex, descending corner
+                # tuple); replicate it exactly on ties.
+                if vertex < best_vertex or (
+                    vertex == best_vertex
+                    and tuple(-c for c in triangle_corners(face))
+                    > tuple(-c for c in triangle_corners(best_face))
+                ):
+                    best_gain, best_vertex, best_face = gain, vertex, face
+        if best_vertex is None:
+            return None
+        return VertexFacePair(vertex=best_vertex, face=best_face, gain=best_gain)
+
     # -- updates -----------------------------------------------------------
 
     def add_face(self, face: Triangle) -> None:

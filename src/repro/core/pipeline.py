@@ -15,7 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.dbht import DBHTResult, dbht
-from repro.core.tmfg import TMFGResult, construct_tmfg
+from repro.core.tmfg import TMFGResult, WarmStartHints, construct_tmfg
 from repro.datasets.similarity import correlation_to_dissimilarity
 from repro.dendrogram.node import Dendrogram
 from repro.graph.matrix import correlation_like, validate_similarity_matrix
@@ -52,6 +52,7 @@ def tmfg_dbht(
     tracker: Optional[WorkSpanTracker] = None,
     apsp_method: str = "dijkstra",
     kernel: Optional[str] = None,
+    warm_start: Optional[WarmStartHints] = None,
 ) -> PipelineResult:
     """Hierarchical clustering with a TMFG filtered graph and the DBHT.
 
@@ -79,6 +80,11 @@ def tmfg_dbht(
         ``"python"`` or ``"numpy"`` hot-loop kernels for the gain updates
         and the APSP (see :mod:`repro.parallel.kernels`); ``None`` uses the
         process-wide default.  All kernels produce identical results.
+    warm_start:
+        Optional :class:`~repro.core.tmfg.WarmStartHints` from a previous
+        build on a similar matrix (the streaming workload's previous tick).
+        Every replayed insertion is verified, so the result is identical to
+        a cold run; rejected hints fall back to a cold build.
 
     Returns
     -------
@@ -104,6 +110,7 @@ def tmfg_dbht(
         tracker=tracker,
         backend=backend,
         kernel=kernel,
+        warm_start=warm_start,
     )
     tmfg_seconds = time.perf_counter() - start
 

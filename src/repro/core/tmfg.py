@@ -12,13 +12,25 @@ conflicts by keeping, for each vertex, only its highest-gain face.
 which is what the tests check; larger prefixes trade a small amount of kept
 edge weight for many fewer rounds (more parallelism), which is what Figs. 4,
 6, and 7 evaluate.
+
+Warm starts
+-----------
+The streaming workload (:mod:`repro.streaming`) rebuilds a TMFG per rolling
+window, and consecutive windows share most of their data, so consecutive
+TMFGs usually make the same insertion decisions.  ``construct_tmfg`` accepts
+:class:`WarmStartHints` — the previous build's initial tetrahedron and
+per-round insertion batches — and *replays* them, verifying each round
+against the gain table (the replayed batch must be exactly what cold
+selection would pick).  A verified replay skips the expensive candidate
+sort, which dominates cold construction; any rejected check falls back to a
+cold build, so the output is always identical to a cold run.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -40,7 +52,12 @@ class TMFGResult:
     ``bubble_tree`` is the tree built on the fly (Algorithm 2) when
     ``build_bubble_tree=True``; ``insertion_order`` records, per inserted
     vertex, the face it went into; ``rounds`` is the number of batched rounds
-    (the quantity ``rho`` in the paper's analysis).
+    (the quantity ``rho`` in the paper's analysis); ``round_sizes`` the
+    number of vertices each round inserted (used to rebuild warm-start
+    hints); ``warm_rounds`` how many leading rounds were verified replays of
+    :class:`WarmStartHints` and ``warm_started`` whether *every* round was
+    (a full replay; partial replays hand over to cold selection at the
+    first diverging round).
     """
 
     graph: WeightedGraph
@@ -51,6 +68,9 @@ class TMFGResult:
     prefix: int
     rounds: int
     tracker: WorkSpanTracker = field(default_factory=WorkSpanTracker)
+    round_sizes: List[int] = field(default_factory=list)
+    warm_started: bool = False
+    warm_rounds: int = 0
 
     @property
     def num_vertices(self) -> int:
@@ -58,6 +78,33 @@ class TMFGResult:
 
     def edge_weight_sum(self) -> float:
         return self.graph.edge_weight_sum()
+
+    def warm_start_hints(self) -> "WarmStartHints":
+        """Hints that let the next build replay this one (see ``construct_tmfg``)."""
+        return WarmStartHints(
+            initial_clique=self.initial_clique,
+            insertion_order=tuple(self.insertion_order),
+            round_sizes=tuple(self.round_sizes),
+        )
+
+
+@dataclass(frozen=True)
+class WarmStartHints:
+    """A previous TMFG build's decisions, offered as candidates for replay.
+
+    ``insertion_order`` holds the (vertex, face) insertions in order and
+    ``round_sizes`` partitions them into the original rounds, so the replay
+    can verify each round's batch against what cold selection would pick on
+    the *new* similarity matrix.
+    """
+
+    initial_clique: Tuple[int, int, int, int]
+    insertion_order: Tuple[Tuple[int, Triangle], ...]
+    round_sizes: Tuple[int, ...]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.insertion_order) + 4
 
 
 def _initial_clique(similarity: np.ndarray) -> List[int]:
@@ -69,6 +116,103 @@ def _initial_clique(similarity: np.ndarray) -> List[int]:
     return sorted(int(v) for v in top_four)
 
 
+class _TMFGBuilder:
+    """Shared construction state for the cold and warm-replay paths."""
+
+    def __init__(
+        self,
+        similarity: np.ndarray,
+        clique: Sequence[int],
+        build_bubble_tree: bool,
+        kernel: Optional[str],
+        tracker: WorkSpanTracker,
+    ) -> None:
+        n = similarity.shape[0]
+        self.similarity = similarity
+        self.tracker = tracker
+        self.clique = tuple(int(v) for v in clique)
+        v1, v2, v3, v4 = self.clique
+        self.graph = WeightedGraph(n)
+        self.edges: List[Tuple[int, int]] = []
+        for i in range(4):
+            for j in range(i + 1, 4):
+                u, v = self.clique[i], self.clique[j]
+                self.graph.add_edge(u, v, similarity[u, v])
+                self.edges.append((u, v))
+        self.faces: Set[Triangle] = {
+            triangle_key(v1, v2, v3),
+            triangle_key(v1, v2, v4),
+            triangle_key(v1, v3, v4),
+            triangle_key(v2, v3, v4),
+        }
+        self.outer_face: Triangle = triangle_key(v1, v2, v3)
+        remaining = [v for v in range(n) if v not in set(self.clique)]
+        self.gain_table = GainTable(similarity, remaining, kernel=kernel)
+        self.gain_table.add_faces(list(self.faces))
+        # Initialisation: O(n^2) work for the row sums, O(n) for the gains.
+        tracker.add(
+            "tmfg", work=float(n * n + 4 * n), span=math.log2(n) + 1 if n > 1 else 1.0
+        )
+        self.bubble_tree = BubbleTree(self.clique, self.faces) if build_bubble_tree else None
+        self.insertion_order: List[Tuple[int, Triangle]] = []
+        self.round_sizes: List[int] = []
+
+    def insert_round(self, batch: Sequence[Tuple[int, Triangle]]) -> None:
+        """Insert one round's (vertex, face) batch and refresh the gain table."""
+        num_faces = self.gain_table.num_faces
+        num_remaining = self.gain_table.num_remaining
+        self.gain_table.remove_vertices([vertex for vertex, _ in batch])
+        # The batch's faces are distinct (one best vertex per face), so the
+        # structural updates can run per pair while the gain recomputation
+        # for all newly created faces is deferred into one bulk call — the
+        # round then costs one masked argmax over the stacked gain matrix
+        # instead of per-face Python work.
+        round_new_faces: List[Triangle] = []
+        for vertex, face in batch:
+            a, b, c = triangle_corners(face)
+            for corner in (a, b, c):
+                self.graph.add_edge(vertex, corner, self.similarity[vertex, corner])
+                self.edges.append((vertex, corner))
+            is_outer = face == self.outer_face
+            if self.bubble_tree is not None:
+                self.bubble_tree.insert(vertex, face, is_outer_face=is_outer)
+            new_faces = child_faces(face, vertex)
+            if is_outer:
+                self.outer_face = new_faces[0]
+            self.faces.discard(face)
+            self.gain_table.remove_face(face)
+            for new_face in new_faces:
+                self.faces.add(new_face)
+                round_new_faces.append(new_face)
+            self.insertion_order.append((vertex, face))
+        self.gain_table.add_faces(round_new_faces)
+        self.round_sizes.append(len(batch))
+        # Work: sorting the per-face gains plus recomputing gains for the
+        # affected and newly-created faces (each a vectorised O(|V|) scan).
+        affected = 3 * len(batch)
+        round_work = float(
+            num_faces * max(1.0, math.log2(max(num_faces, 2)))
+            + affected * max(1, num_remaining)
+        )
+        round_span = math.log2(max(num_faces, 2)) + math.log2(max(len(batch), 2)) + 1.0
+        self.tracker.add("tmfg", work=round_work, span=round_span)
+
+    def result(self, prefix: int, warm_rounds: int = 0) -> TMFGResult:
+        return TMFGResult(
+            graph=self.graph,
+            edges=self.edges,
+            initial_clique=self.clique,
+            bubble_tree=self.bubble_tree,
+            insertion_order=self.insertion_order,
+            prefix=prefix,
+            rounds=len(self.round_sizes),
+            tracker=self.tracker,
+            round_sizes=self.round_sizes,
+            warm_started=warm_rounds > 0 and warm_rounds == len(self.round_sizes),
+            warm_rounds=warm_rounds,
+        )
+
+
 def construct_tmfg(
     similarity: np.ndarray,
     prefix: int = 1,
@@ -76,6 +220,7 @@ def construct_tmfg(
     tracker: Optional[WorkSpanTracker] = None,
     backend: Optional[ParallelBackend] = None,
     kernel: Optional[str] = None,
+    warm_start: Optional[WarmStartHints] = None,
 ) -> TMFGResult:
     """Build a TMFG (or its prefix-batched variant) from a similarity matrix.
 
@@ -99,95 +244,103 @@ def construct_tmfg(
         Gain-update kernel (``"python"`` per-face loop or ``"numpy"`` bulk
         matrix argmax; see :mod:`repro.parallel.kernels`).  ``None`` uses
         the process-wide default.  Both produce identical graphs.
+    warm_start:
+        Optional :class:`WarmStartHints` from a previous build on a similar
+        matrix.  Every replayed round is verified against the gain table —
+        the batch must equal what cold selection would choose — so the
+        result is always identical to a cold build.  For ``prefix=1`` (the
+        streaming default) the gain check computes the round's true argmax,
+        so a diverging hint costs nothing: the verified argmax is inserted
+        directly, and the whole warm build runs on single-scan selection
+        instead of the reference sort.  Larger prefixes verify each round
+        by running the reference batched selection and comparing, which
+        keeps the output guarantee but adds no speedup — the warm-start
+        win is the ``prefix=1`` path.  The result's
+        ``warm_started``/``warm_rounds`` fields record how far the replay
+        carried.
     """
     if prefix < 1:
         raise ValueError("prefix must be at least 1")
     similarity = validate_similarity_matrix(similarity)
     n = similarity.shape[0]
     tracker = tracker if tracker is not None else WorkSpanTracker()
-
     clique = _initial_clique(similarity)
-    v1, v2, v3, v4 = clique
-    graph = WeightedGraph(n)
-    edges: List[Tuple[int, int]] = []
-    for i in range(4):
-        for j in range(i + 1, 4):
-            u, v = clique[i], clique[j]
-            graph.add_edge(u, v, similarity[u, v])
-            edges.append((u, v))
 
-    faces: Set[Triangle] = {
-        triangle_key(v1, v2, v3),
-        triangle_key(v1, v2, v4),
-        triangle_key(v1, v3, v4),
-        triangle_key(v2, v3, v4),
-    }
-    outer_face: Triangle = triangle_key(v1, v2, v3)
+    fast_select = warm_start is not None and prefix == 1
+    hint_batches = _usable_hint_batches(warm_start, clique, n, prefix)
+    builder = _TMFGBuilder(similarity, clique, build_bubble_tree, kernel, tracker)
+    warm_rounds = 0
+    while builder.gain_table.num_remaining > 0:
+        expected: Optional[Tuple[Tuple[int, Triangle], ...]] = None
+        if hint_batches is not None and warm_rounds < len(hint_batches):
+            expected = hint_batches[warm_rounds]
+        batch: Optional[Sequence[Tuple[int, Triangle]]] = None
+        if fast_select:
+            # Single-scan exact selection: ``argmax_pair`` is the pair
+            # ``_select_batch`` would return for prefix 1 (same tie-break),
+            # so verification and selection are the same scan.
+            best = builder.gain_table.argmax_pair()
+            if best is None:
+                raise RuntimeError(
+                    "no insertable vertex-face pair found; inconsistent gain table"
+                )
+            batch = ((best.vertex, best.face),)
+            if expected is not None:
+                if len(expected) == 1 and expected[0] == batch[0]:
+                    warm_rounds += 1
+                else:
+                    hint_batches = None
+        else:
+            if expected is not None:
+                cold_batch = _select_batch(builder.gain_table, prefix)
+                if [(pair.vertex, pair.face) for pair in cold_batch] == list(expected):
+                    warm_rounds += 1
+                    batch = expected
+                else:
+                    # Diverged: the remaining hints describe a different
+                    # construction, so stop consulting them.
+                    hint_batches = None
+                    batch = [(pair.vertex, pair.face) for pair in cold_batch]
+            if batch is None:
+                pairs = _select_batch(builder.gain_table, prefix)
+                if not pairs:
+                    raise RuntimeError(
+                        "no insertable vertex-face pair found; inconsistent gain table"
+                    )
+                batch = [(pair.vertex, pair.face) for pair in pairs]
+        builder.insert_round(batch)
+    return builder.result(prefix, warm_rounds=warm_rounds)
 
-    remaining = [v for v in range(n) if v not in set(clique)]
-    gain_table = GainTable(similarity, remaining, kernel=kernel)
-    gain_table.add_faces(list(faces))
-    # Initialisation: O(n^2) work for the row sums, O(n) for the gains.
-    tracker.add("tmfg", work=float(n * n + 4 * n), span=math.log2(n) + 1 if n > 1 else 1.0)
 
-    bubble_tree = BubbleTree(clique, faces) if build_bubble_tree else None
-    insertion_order: List[Tuple[int, Triangle]] = []
+def _usable_hint_batches(
+    hints: Optional[WarmStartHints],
+    clique: Sequence[int],
+    num_vertices: int,
+    prefix: int,
+) -> Optional[List[Tuple[Tuple[int, Triangle], ...]]]:
+    """Hints split into per-round batches, or ``None`` when unusable.
 
-    rounds = 0
-    while gain_table.num_remaining > 0:
-        rounds += 1
-        batch = _select_batch(gain_table, prefix)
-        if not batch:
-            raise RuntimeError("no insertable vertex-face pair found; inconsistent gain table")
-        num_faces = gain_table.num_faces
-        num_remaining = gain_table.num_remaining
-        inserted_vertices = [pair.vertex for pair in batch]
-        gain_table.remove_vertices(inserted_vertices)
-        # The batch's faces are distinct (one best vertex per face), so the
-        # structural updates can run per pair while the gain recomputation
-        # for all newly created faces is deferred into one bulk call — the
-        # round then costs one masked argmax over the stacked gain matrix
-        # instead of per-face Python work.
-        round_new_faces: List[Triangle] = []
-        for pair in batch:
-            vertex, face = pair.vertex, pair.face
-            a, b, c = triangle_corners(face)
-            for corner in (a, b, c):
-                graph.add_edge(vertex, corner, similarity[vertex, corner])
-                edges.append((vertex, corner))
-            is_outer = face == outer_face
-            if bubble_tree is not None:
-                bubble_tree.insert(vertex, face, is_outer_face=is_outer)
-            new_faces = child_faces(face, vertex)
-            if is_outer:
-                outer_face = new_faces[0]
-            faces.discard(face)
-            gain_table.remove_face(face)
-            for new_face in new_faces:
-                faces.add(new_face)
-                round_new_faces.append(new_face)
-            insertion_order.append((vertex, face))
-        gain_table.add_faces(round_new_faces)
-        # Work: sorting the per-face gains plus recomputing gains for the
-        # affected and newly-created faces (each a vectorised O(|V|) scan).
-        affected = 3 * len(batch)
-        round_work = float(
-            num_faces * max(1.0, math.log2(max(num_faces, 2)))
-            + affected * max(1, num_remaining)
-        )
-        round_span = math.log2(max(num_faces, 2)) + math.log2(max(len(batch), 2)) + 1.0
-        tracker.add("tmfg", work=round_work, span=round_span)
-
-    return TMFGResult(
-        graph=graph,
-        edges=edges,
-        initial_clique=(v1, v2, v3, v4),
-        bubble_tree=bubble_tree,
-        insertion_order=insertion_order,
-        prefix=prefix,
-        rounds=rounds,
-        tracker=tracker,
-    )
+    Hints are unusable when they describe a different vertex count, a
+    different initial tetrahedron (every later decision would differ), an
+    inconsistent round partition, or rounds larger than this build's
+    ``prefix``.
+    """
+    if hints is None:
+        return None
+    if hints.num_vertices != num_vertices:
+        return None
+    if tuple(clique) != tuple(hints.initial_clique):
+        return None
+    if sum(hints.round_sizes) != len(hints.insertion_order):
+        return None
+    batches: List[Tuple[Tuple[int, Triangle], ...]] = []
+    position = 0
+    for size in hints.round_sizes:
+        if size < 1 or size > prefix:
+            return None
+        batches.append(hints.insertion_order[position : position + size])
+        position += size
+    return batches
 
 
 def _select_batch(gain_table: GainTable, prefix: int) -> List[VertexFacePair]:

@@ -22,7 +22,12 @@ from repro.datasets.similarity import (
     detrended_log_returns,
     similarity_and_dissimilarity,
 )
-from repro.datasets.stocks import StockMarket, generate_stock_market
+from repro.datasets.stocks import (
+    StockMarket,
+    StockStream,
+    generate_regime_switching_stream,
+    generate_stock_market,
+)
 from repro.datasets.synthetic import make_gaussian_blobs, make_time_series_dataset
 from repro.datasets.ucr_like import DatasetSpec, UCR_LIKE_SPECS, load_ucr_like, list_dataset_ids
 
@@ -34,6 +39,8 @@ __all__ = [
     "detrended_log_returns",
     "similarity_and_dissimilarity",
     "StockMarket",
+    "StockStream",
+    "generate_regime_switching_stream",
     "generate_stock_market",
     "make_gaussian_blobs",
     "make_time_series_dataset",

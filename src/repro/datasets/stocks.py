@@ -16,6 +16,7 @@ market with the structure those experiments rely on:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -132,6 +133,121 @@ def generate_stock_market(
         sector_names=sector_names,
         market_caps=market_caps,
         tickers=tickers,
+    )
+
+
+@dataclass
+class StockStream:
+    """Synthetic regime-switching return stream for the streaming workload.
+
+    ``returns`` holds one detrended daily log-return series per stock;
+    ``regimes`` labels every day with its correlation regime.  Within one
+    regime, sectors are coupled into regime-specific *groups* that share a
+    common factor, so the cluster structure a rolling correlation window
+    sees drifts whenever the window crosses a regime boundary — the
+    scenario :class:`repro.streaming.StreamingPipeline`'s drift metrics
+    track.
+    """
+
+    returns: np.ndarray
+    sectors: np.ndarray
+    sector_names: Tuple[str, ...]
+    regimes: np.ndarray
+    sector_groups: np.ndarray
+
+    @property
+    def num_stocks(self) -> int:
+        return self.returns.shape[0]
+
+    @property
+    def num_days(self) -> int:
+        return self.returns.shape[1]
+
+    @property
+    def num_regimes(self) -> int:
+        return self.sector_groups.shape[0]
+
+    def regime_boundaries(self) -> np.ndarray:
+        """Day indices where the regime changes (first day of a new regime)."""
+        return np.flatnonzero(np.diff(self.regimes)) + 1
+
+
+def generate_regime_switching_stream(
+    num_stocks: int = 100,
+    num_days: int = 600,
+    num_regimes: int = 3,
+    regime_length: int = 200,
+    seed: Optional[int] = None,
+    market_volatility: float = 0.004,
+    sector_volatility: float = 0.012,
+    group_coupling: float = 0.8,
+    idiosyncratic_volatility: float = 0.008,
+) -> StockStream:
+    """Simulate a return stream whose correlation structure switches regime.
+
+    Extends the factor model of :func:`generate_stock_market`: stocks load
+    on a market factor, their sector factor, and — new here — a
+    regime-specific *group* factor shared by several sectors.  Each regime
+    draws its own random partition of the sectors into groups, so which
+    sectors co-move (and therefore which clusters a correlation window
+    recovers) changes every ``regime_length`` days; ``group_coupling``
+    controls how strongly group membership dominates the sector factor.
+    Regimes cycle ``0, 1, ..., num_regimes - 1, 0, ...`` over the stream.
+    """
+    if num_stocks < 4 * len(ICB_INDUSTRIES):
+        raise ValueError(
+            f"need at least {4 * len(ICB_INDUSTRIES)} stocks for {len(ICB_INDUSTRIES)} sectors"
+        )
+    if num_regimes < 1:
+        raise ValueError("num_regimes must be at least 1")
+    if regime_length < 2:
+        raise ValueError("regime_length must be at least 2 days")
+    if not 0.0 <= group_coupling <= 1.0:
+        raise ValueError("group_coupling must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    num_sectors = len(ICB_INDUSTRIES)
+    sizes = _sector_sizes(num_stocks, num_sectors, rng)
+    sectors = np.repeat(np.arange(num_sectors), sizes)
+    rng.shuffle(sectors)
+
+    # Per-regime sector grouping: shuffle the sectors and pair them off, so
+    # each regime merges different industries into co-moving blocks.
+    num_groups = max(2, num_sectors // 2)
+    sector_groups = np.empty((num_regimes, num_sectors), dtype=int)
+    for regime in range(num_regimes):
+        order = rng.permutation(num_sectors)
+        sector_groups[regime, order] = np.arange(num_sectors) % num_groups
+
+    regimes = (np.arange(num_days) // regime_length) % num_regimes
+    market_factor = rng.normal(0.0, market_volatility, size=num_days)
+    sector_factors = rng.normal(0.0, sector_volatility, size=(num_sectors, num_days))
+    group_factors = rng.normal(0.0, sector_volatility, size=(num_groups, num_days))
+
+    # Effective per-sector factor: mostly the regime's group factor, with a
+    # (1 - coupling) share of the sector's own factor keeping sectors
+    # distinguishable inside a group.  Variance is preserved so regime
+    # switches move correlations, not volatilities.
+    own_share = math.sqrt(max(0.0, 1.0 - group_coupling**2))
+    effective = np.empty_like(sector_factors)
+    for regime in range(num_regimes):
+        days = regimes == regime
+        groups_of_sector = sector_groups[regime]
+        effective[:, days] = (
+            own_share * sector_factors[:, days]
+            + group_coupling * group_factors[groups_of_sector][:, days]
+        )
+
+    loadings = rng.uniform(0.8, 1.2, size=num_stocks)
+    noise = rng.normal(0.0, idiosyncratic_volatility, size=(num_stocks, num_days))
+    returns = market_factor[None, :] + loadings[:, None] * effective[sectors] + noise
+
+    sector_names = tuple(name for _, name in ICB_INDUSTRIES)
+    return StockStream(
+        returns=returns,
+        sectors=sectors,
+        sector_names=sector_names,
+        regimes=regimes,
+        sector_groups=sector_groups,
     )
 
 

@@ -28,6 +28,7 @@ from repro.datasets.synthetic import LabelledDataset
 from repro.dendrogram.cut import cut_k
 from repro.metrics.ami import adjusted_mutual_information
 from repro.metrics.ari import adjusted_rand_index
+from repro.streaming.runner import StreamingPipeline
 
 
 @dataclass
@@ -45,6 +46,7 @@ class MethodRun:
 
 
 _PAR_TDBHT_PATTERN = re.compile(r"^PAR-TDBHT-(\d+)$", re.IGNORECASE)
+_STREAM_TDBHT_PATTERN = re.compile(r"^STREAM-TDBHT-(\d+)(-COLD)?$", re.IGNORECASE)
 
 
 def available_methods() -> List[str]:
@@ -54,6 +56,8 @@ def available_methods() -> List[str]:
         "PAR-TDBHT-10",
         "PAR-TDBHT-<prefix>",
         "SEQ-TDBHT",
+        "STREAM-TDBHT-<prefix>",
+        "STREAM-TDBHT-<prefix>-COLD",
         "PMFG-DBHT",
         "COMP",
         "AVG",
@@ -71,6 +75,8 @@ def run_method(
     spectral_neighbors: int = 10,
     kernel: Optional[str] = None,
     backend: Optional[object] = None,
+    stream_window: Optional[int] = None,
+    stream_hop: Optional[int] = None,
 ) -> MethodRun:
     """Run ``method`` on ``dataset`` and evaluate against its labels.
 
@@ -82,12 +88,69 @@ def run_method(
     :class:`~repro.parallel.scheduler.ParallelBackend` instance or name
     (``"serial"``/``"thread"``/``"process"``) used for the parallelisable
     phases.
+
+    The ``STREAM-TDBHT-<prefix>`` family treats the data set as a return
+    stream (one series per object), slides a ``stream_window``-wide
+    correlation window in steps of ``stream_hop`` through
+    :class:`~repro.streaming.StreamingPipeline` (TMFG warm starts on;
+    append ``-COLD`` for the cold rebuild path — identical labels, only
+    timing differs), scores the final tick's cut against the ground truth,
+    and reports the mean per-tick timing decomposition in
+    ``step_seconds`` (keys ``"similarity"``, ``"tmfg"``, ``"apsp"``,
+    ``"bubble-tree"``, ``"hierarchy"``, ``"total"``).  The window defaults
+    to half the series length and the hop to an eighth of the remainder.
     """
     num_clusters = dataset.num_classes if num_clusters is None else num_clusters
     name = method.upper()
     start = time.perf_counter()
     step_seconds: Dict[str, float] = {}
     extras: Dict[str, object] = {}
+
+    stream_match = _STREAM_TDBHT_PATTERN.match(name)
+    if stream_match:
+        prefix = int(stream_match.group(1))
+        warm = stream_match.group(2) is None
+        length = dataset.data.shape[1]
+        window = (
+            stream_window
+            if stream_window is not None
+            else min(length, max(8, length // 2))
+        )
+        hop = stream_hop if stream_hop is not None else max(1, (length - window) // 8)
+        pipeline = StreamingPipeline(
+            dataset.data,
+            window=window,
+            hop=hop,
+            num_clusters=num_clusters,
+            prefix=prefix,
+            warm_start=warm,
+            kernel=kernel,
+            backend=backend,
+        )
+        stream_result = pipeline.run()
+        labels = stream_result.labels
+        step_seconds = stream_result.mean_step_seconds()
+        extras["stream"] = stream_result
+        extras["ticks"] = stream_result.num_ticks
+        extras["window"] = window
+        extras["hop"] = hop
+        extras["warm_full_replay_rate"] = stream_result.warm_stats.full_replay_rate
+        extras["warm_round_replay_rate"] = stream_result.warm_stats.round_replay_rate
+        extras["mean_drift_ari"] = stream_result.mean_drift_ari()
+        extras["mean_drift_ami"] = stream_result.mean_drift_ami()
+        seconds = time.perf_counter() - start
+        ari = adjusted_rand_index(dataset.labels, labels)
+        ami = adjusted_mutual_information(dataset.labels, labels) if compute_ami else None
+        return MethodRun(
+            method=name,
+            dataset=dataset.name,
+            labels=np.asarray(labels),
+            seconds=seconds,
+            ari=ari,
+            ami=ami,
+            step_seconds=step_seconds,
+            extras=extras,
+        )
 
     par_match = _PAR_TDBHT_PATTERN.match(name)
     if par_match:

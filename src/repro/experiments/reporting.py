@@ -42,6 +42,50 @@ def format_table(
     return "\n".join(lines)
 
 
+def stream_tick_table(ticks: Sequence[object]) -> "tuple[List[str], List[List[object]]]":
+    """Headers and rows for a per-tick streaming report.
+
+    ``ticks`` are :class:`repro.streaming.TickResult` objects; the rows
+    show each tick's window, cluster count, how much of the TMFG the warm
+    start replayed, the per-tick phase decomposition, and the drift
+    against the previous tick's clustering.
+    """
+    headers = [
+        "tick",
+        "window",
+        "clusters",
+        "warm",
+        "sim(s)",
+        "tmfg(s)",
+        "apsp(s)",
+        "total(s)",
+        "drift-ARI",
+    ]
+    rows: List[List[object]] = []
+    for tick in ticks:
+        steps = tick.step_seconds
+        rows.append(
+            [
+                tick.tick,
+                f"[{tick.start}, {tick.stop})",
+                tick.num_clusters,
+                f"{tick.warm_rounds}/{tick.rounds}",
+                steps.get("similarity", 0.0),
+                steps.get("tmfg", 0.0),
+                steps.get("apsp", 0.0),
+                steps.get("total", 0.0),
+                "-" if tick.drift_ari is None else f"{tick.drift_ari:.3f}",
+            ]
+        )
+    return headers, rows
+
+
+def format_stream_ticks(ticks: Sequence[object], title: Optional[str] = None) -> str:
+    """Render a streaming run's ticks as an aligned text table."""
+    headers, rows = stream_tick_table(ticks)
+    return format_table(headers, rows, title=title, float_format="{:.4f}")
+
+
 def format_mapping(title: str, mapping: Mapping[str, object]) -> str:
     """Render a flat mapping as ``key: value`` lines under a title."""
     lines = [title]

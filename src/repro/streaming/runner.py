@@ -1,0 +1,271 @@
+"""Streaming TMFG+DBHT pipeline over a rolling correlation window.
+
+:class:`StreamingPipeline` slides a window of ``window`` observations over
+a return stream in steps of ``hop``, and per tick
+
+1. advances the :class:`~repro.streaming.rolling.RollingCorrelation`
+   accumulator by ``hop`` observations (``O(hop * n^2)`` instead of a full
+   recomputation),
+2. runs :func:`~repro.core.pipeline.tmfg_dbht` on the window's similarity
+   matrix through the existing kernel registry and
+   :class:`~repro.parallel.scheduler.ParallelBackend`, warm-starting the
+   TMFG from the previous tick's decisions
+   (:class:`~repro.streaming.warm_start.TMFGWarmStarter`), and
+3. cuts the dendrogram and scores cluster drift against the previous tick
+   (ARI/AMI from :mod:`repro.metrics`).
+
+Warm starts are verified per round, so every tick's flat cut is identical
+to a cold ``tmfg_dbht`` run on the same similarity matrix; ``warm=False``
+runs the cold path for comparison (see ``benchmarks/bench_streaming.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import tmfg_dbht
+from repro.datasets.similarity import correlation_matrix
+from repro.metrics.ami import adjusted_mutual_information
+from repro.metrics.ari import adjusted_rand_index
+from repro.parallel.scheduler import ParallelBackend
+from repro.streaming.rolling import RollingCorrelation
+from repro.streaming.warm_start import TMFGWarmStarter, WarmStartStats
+
+
+@dataclass
+class TickResult:
+    """One streaming tick: the window, its clustering, and its timings.
+
+    ``step_seconds`` holds the per-phase wall-clock decomposition:
+    ``"similarity"`` (rolling update + matrix emission) plus the pipeline's
+    ``"tmfg"``/``"apsp"``/``"bubble-tree"``/``"hierarchy"`` phases and the
+    ``"total"``.  ``drift_ari``/``drift_ami`` compare this tick's flat cut
+    with the previous tick's (``None`` on the first tick).
+    """
+
+    tick: int
+    start: int
+    stop: int
+    labels: np.ndarray
+    num_clusters: int
+    warm_started: bool
+    warm_rounds: int
+    rounds: int
+    step_seconds: Dict[str, float]
+    drift_ari: Optional[float] = None
+    drift_ami: Optional[float] = None
+
+    @property
+    def seconds(self) -> float:
+        return self.step_seconds["total"]
+
+
+@dataclass
+class StreamingResult:
+    """All ticks of one streaming run plus aggregate statistics."""
+
+    ticks: List[TickResult]
+    window: int
+    hop: int
+    num_clusters: int
+    warm: bool
+    warm_stats: WarmStartStats = field(default_factory=WarmStartStats)
+
+    @property
+    def num_ticks(self) -> int:
+        return len(self.ticks)
+
+    @property
+    def labels(self) -> Optional[np.ndarray]:
+        """The final tick's flat labels (``None`` when no tick ran)."""
+        return self.ticks[-1].labels if self.ticks else None
+
+    def mean_step_seconds(self) -> Dict[str, float]:
+        """Per-phase wall-clock means over all ticks."""
+        if not self.ticks:
+            return {}
+        keys = self.ticks[0].step_seconds.keys()
+        return {
+            key: float(np.mean([tick.step_seconds[key] for tick in self.ticks]))
+            for key in keys
+        }
+
+    def mean_tick_seconds(self) -> float:
+        return self.mean_step_seconds().get("total", 0.0)
+
+    def mean_drift_ari(self) -> Optional[float]:
+        values = [tick.drift_ari for tick in self.ticks if tick.drift_ari is not None]
+        return float(np.mean(values)) if values else None
+
+    def mean_drift_ami(self) -> Optional[float]:
+        values = [tick.drift_ami for tick in self.ticks if tick.drift_ami is not None]
+        return float(np.mean(values)) if values else None
+
+
+class StreamingPipeline:
+    """Rolling-window TMFG+DBHT clustering of a return stream.
+
+    Parameters
+    ----------
+    returns:
+        ``(num_assets, num_steps)`` matrix, one time series per row (e.g.
+        detrended log-returns).  Columns are consumed in order.
+    window:
+        Observations per correlation window (must fit in the stream).
+    hop:
+        Observations the window advances per tick.
+    num_clusters:
+        Flat clusters cut from each tick's dendrogram.
+    prefix:
+        TMFG prefix size (``1`` = exact sequential TMFG, the default).
+    warm_start:
+        ``True`` (default) runs warm ticks: the similarity matrix is
+        updated incrementally and the TMFG replays the previous tick's
+        decisions under per-round verification.  ``False`` runs the cold
+        rebuild baseline: the window's correlation is recomputed from
+        scratch and the TMFG builds without hints.  Cuts agree up to the
+        incremental update's float rounding (~1e-12 on the correlations);
+        only the wall-clock differs (see ``benchmarks/bench_streaming.py``).
+    kernel / backend / apsp_method:
+        Forwarded to :func:`~repro.core.pipeline.tmfg_dbht`.
+    max_ticks:
+        Optional cap on the number of ticks to run.
+    refresh_every:
+        Forwarded to :class:`RollingCorrelation` (drift-guard cadence).
+    """
+
+    def __init__(
+        self,
+        returns: np.ndarray,
+        window: int,
+        hop: int = 1,
+        num_clusters: int = 4,
+        prefix: int = 1,
+        warm_start: bool = True,
+        kernel: Optional[str] = None,
+        backend: Optional[ParallelBackend] = None,
+        apsp_method: str = "dijkstra",
+        max_ticks: Optional[int] = None,
+        refresh_every: Optional[int] = 256,
+    ) -> None:
+        returns = np.asarray(returns, dtype=float)
+        if returns.ndim != 2:
+            raise ValueError("returns must be a 2-D (assets x time) matrix")
+        num_assets, num_steps = returns.shape
+        if num_assets < 4:
+            raise ValueError("streaming clustering needs at least 4 assets")
+        if window < 2:
+            raise ValueError("window must hold at least 2 observations")
+        if window > num_steps:
+            raise ValueError(
+                f"window ({window}) exceeds the stream length ({num_steps})"
+            )
+        if hop < 1:
+            raise ValueError("hop must be at least 1")
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be at least 1")
+        if max_ticks is not None and max_ticks < 1:
+            raise ValueError("max_ticks must be at least 1 (or None)")
+        self.returns = returns
+        self.window = window
+        self.hop = hop
+        self.num_clusters = num_clusters
+        self.prefix = prefix
+        self.warm = warm_start
+        self.kernel = kernel
+        self.backend = backend
+        self.apsp_method = apsp_method
+        self.max_ticks = max_ticks
+        self.refresh_every = refresh_every
+
+    @property
+    def num_ticks(self) -> int:
+        """Ticks the stream supports (before any ``max_ticks`` cap)."""
+        num_steps = self.returns.shape[1]
+        available = 1 + (num_steps - self.window) // self.hop
+        if self.max_ticks is not None:
+            return min(available, self.max_ticks)
+        return available
+
+    def iter_ticks(self) -> Iterator[TickResult]:
+        """Run the stream, yielding one :class:`TickResult` per tick."""
+        num_assets, num_steps = self.returns.shape
+        rolling = RollingCorrelation(
+            num_assets,
+            self.window,
+            refresh_every=self.refresh_every,
+            track_moments=self.warm,
+        )
+        starter = TMFGWarmStarter(enabled=self.warm)
+        self._warm_stats = starter.stats
+        previous_labels: Optional[np.ndarray] = None
+        tick_index = 0
+        consumed = 0
+        while consumed < num_steps:
+            if tick_index == 0:
+                take = self.window
+            else:
+                take = self.hop
+                if consumed + take > num_steps:
+                    break
+            if self.max_ticks is not None and tick_index >= self.max_ticks:
+                break
+            tick_start = time.perf_counter()
+            rolling.push(self.returns[:, consumed : consumed + take])
+            consumed += take
+            if self.warm:
+                similarity = rolling.correlation()
+            else:
+                similarity = correlation_matrix(rolling.window_data())
+            similarity_seconds = time.perf_counter() - tick_start
+
+            result = tmfg_dbht(
+                similarity,
+                prefix=self.prefix,
+                kernel=self.kernel,
+                backend=self.backend,
+                apsp_method=self.apsp_method,
+                warm_start=starter.hints(),
+            )
+            starter.update(result.tmfg)
+            labels = result.cut(self.num_clusters)
+            total_seconds = time.perf_counter() - tick_start
+
+            step_seconds = {"similarity": similarity_seconds}
+            step_seconds.update(result.step_seconds)
+            step_seconds["total"] = total_seconds
+            drift_ari = drift_ami = None
+            if previous_labels is not None:
+                drift_ari = adjusted_rand_index(previous_labels, labels)
+                drift_ami = adjusted_mutual_information(previous_labels, labels)
+            yield TickResult(
+                tick=tick_index,
+                start=consumed - self.window,
+                stop=consumed,
+                labels=labels,
+                num_clusters=int(len(np.unique(labels))),
+                warm_started=result.tmfg.warm_started,
+                warm_rounds=result.tmfg.warm_rounds,
+                rounds=result.tmfg.rounds,
+                step_seconds=step_seconds,
+                drift_ari=drift_ari,
+                drift_ami=drift_ami,
+            )
+            previous_labels = labels
+            tick_index += 1
+
+    def run(self) -> StreamingResult:
+        """Run every tick and return the collected :class:`StreamingResult`."""
+        ticks = list(self.iter_ticks())
+        return StreamingResult(
+            ticks=ticks,
+            window=self.window,
+            hop=self.hop,
+            num_clusters=self.num_clusters,
+            warm=self.warm,
+            warm_stats=self._warm_stats,
+        )

@@ -1,0 +1,78 @@
+"""TMFG warm-start management across streaming ticks.
+
+:class:`TMFGWarmStarter` keeps the previous tick's TMFG decisions and
+serves them as :class:`~repro.core.tmfg.WarmStartHints` for the next tick's
+build.  The hints are *candidates*, not commands: ``construct_tmfg``
+verifies every replayed round against its gain table (see
+:mod:`repro.core.tmfg`), so a warm-started build is always identical to a
+cold build on the same similarity matrix.  The starter also aggregates the
+replay statistics — how many builds replayed fully and what fraction of
+rounds the hints carried — which the streaming runner and the benchmark
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.tmfg import TMFGResult, WarmStartHints
+
+
+@dataclass
+class WarmStartStats:
+    """Aggregated replay statistics over a stream of TMFG builds."""
+
+    builds: int = 0
+    warm_attempts: int = 0
+    full_replays: int = 0
+    replayed_rounds: int = 0
+    total_rounds: int = 0
+
+    @property
+    def full_replay_rate(self) -> float:
+        """Fraction of warm-attempted builds that replayed every round."""
+        if self.warm_attempts == 0:
+            return 0.0
+        return self.full_replays / self.warm_attempts
+
+    @property
+    def round_replay_rate(self) -> float:
+        """Fraction of warm-attempted rounds the hints carried."""
+        if self.total_rounds == 0:
+            return 0.0
+        return self.replayed_rounds / self.total_rounds
+
+
+@dataclass
+class TMFGWarmStarter:
+    """Rolls TMFG warm-start hints forward from tick to tick.
+
+    ``enabled=False`` turns the starter into a no-op (:meth:`hints` always
+    ``None``), which is how the streaming pipeline implements cold mode
+    without branching at every call site.
+    """
+
+    enabled: bool = True
+    stats: WarmStartStats = field(default_factory=WarmStartStats)
+    _hints: Optional[WarmStartHints] = field(default=None, repr=False)
+
+    def hints(self) -> Optional[WarmStartHints]:
+        """Hints for the next build (``None`` when disabled or on the first tick)."""
+        return self._hints if self.enabled else None
+
+    def update(self, result: TMFGResult) -> None:
+        """Record a finished build and roll its decisions into the next hints."""
+        self.stats.builds += 1
+        if self.enabled and self._hints is not None:
+            self.stats.warm_attempts += 1
+            self.stats.replayed_rounds += result.warm_rounds
+            self.stats.total_rounds += result.rounds
+            if result.warm_started:
+                self.stats.full_replays += 1
+        if self.enabled:
+            self._hints = result.warm_start_hints()
+
+    def reset(self) -> None:
+        """Drop the stored hints (the next build runs cold)."""
+        self._hints = None

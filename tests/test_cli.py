@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import FIGURE_ENTRY_POINTS, build_parser, main
+from repro.datasets.stocks import generate_regime_switching_stream
 from repro.datasets.synthetic import make_time_series_dataset
 
 
@@ -116,6 +119,102 @@ class TestKernelAndBackendFlags:
         args = ["cluster", str(path), "--clusters", "2", "--backend", "thread"]
         assert main(args + ["--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
+
+
+@pytest.fixture
+def returns_csv(tmp_path):
+    stream = generate_regime_switching_stream(num_stocks=48, num_days=150, seed=9)
+    path = tmp_path / "returns.csv"
+    np.savetxt(path, stream.returns, delimiter=",")
+    return path, stream
+
+
+class TestStreamCommand:
+    def test_stream_prints_ticks_and_summary(self, returns_csv, capsys):
+        path, _ = returns_csv
+        exit_code = main(
+            ["stream", str(path), "--clusters", "4", "--window", "80", "--hop", "20"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Streaming TMFG+DBHT (warm, window=80, hop=20)" in out
+        assert "drift-ARI" in out
+        assert "mean consecutive-tick drift" in out
+
+    def test_stream_writes_labels_and_json(self, returns_csv, tmp_path):
+        path, stream = returns_csv
+        out = tmp_path / "labels.txt"
+        report = tmp_path / "ticks.json"
+        exit_code = main(
+            [
+                "stream",
+                str(path),
+                "--clusters",
+                "4",
+                "--window",
+                "100",
+                "--hop",
+                "25",
+                "--out",
+                str(out),
+                "--json",
+                str(report),
+            ]
+        )
+        assert exit_code == 0
+        labels = np.loadtxt(out, dtype=int)
+        assert labels.shape == (stream.num_stocks,)
+        payload = json.loads(report.read_text())
+        assert payload["window"] == 100 and payload["warm"] is True
+        assert len(payload["ticks"]) == 1 + (150 - 100) // 25
+        assert {"similarity", "tmfg", "apsp", "total"} <= set(
+            payload["mean_step_seconds"]
+        )
+
+    def test_cold_mode_with_kernel_and_max_ticks(self, returns_csv, capsys):
+        path, _ = returns_csv
+        exit_code = main(
+            [
+                "stream",
+                str(path),
+                "--clusters",
+                "3",
+                "--window",
+                "80",
+                "--hop",
+                "10",
+                "--cold",
+                "--kernel",
+                "python",
+                "--max-ticks",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "(cold, window=80" in out
+        assert out.count("\n[") == 0  # table renders, no tracebacks
+
+    def test_window_larger_than_stream_rejected(self, returns_csv, capsys):
+        path, _ = returns_csv
+        exit_code = main(
+            ["stream", str(path), "--clusters", "3", "--window", "500"]
+        )
+        assert exit_code == 2
+        assert "exceeds the stream length" in capsys.readouterr().err
+
+    def test_workers_without_parallel_backend_rejected(self, returns_csv, capsys):
+        path, _ = returns_csv
+        args = ["stream", str(path), "--clusters", "3", "--window", "80", "--workers", "2"]
+        assert main(args) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_stream_requires_window_and_clusters(self, returns_csv):
+        path, _ = returns_csv
+        with pytest.raises(SystemExit):
+            main(["stream", str(path), "--clusters", "3"])
+        with pytest.raises(SystemExit):
+            main(["stream", str(path), "--window", "80"])
 
 
 class TestFigureCommand:

@@ -9,6 +9,7 @@ from repro.datasets.similarity import correlation_matrix, detrended_log_returns
 from repro.datasets.stocks import (
     ICB_INDUSTRIES,
     cluster_sector_counts,
+    generate_regime_switching_stream,
     generate_stock_market,
     market_cap_by_group,
 )
@@ -83,3 +84,54 @@ class TestAnalysisHelpers:
         for sector, caps in groups.items():
             expected = market.market_caps[market.sectors == sector]
             np.testing.assert_array_equal(np.sort(caps), np.sort(expected))
+
+
+class TestRegimeSwitchingStream:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return generate_regime_switching_stream(
+            num_stocks=66, num_days=450, num_regimes=3, regime_length=150, seed=5
+        )
+
+    def test_shapes_and_regime_schedule(self, stream):
+        assert stream.returns.shape == (66, 450)
+        assert stream.regimes.shape == (450,)
+        assert stream.num_stocks == 66 and stream.num_days == 450
+        assert stream.num_regimes == 3
+        assert stream.sector_groups.shape == (3, len(ICB_INDUSTRIES))
+        np.testing.assert_array_equal(stream.regime_boundaries(), [150, 300])
+        np.testing.assert_array_equal(np.unique(stream.regimes), [0, 1, 2])
+
+    def test_deterministic_for_fixed_seed(self, stream):
+        again = generate_regime_switching_stream(
+            num_stocks=66, num_days=450, num_regimes=3, regime_length=150, seed=5
+        )
+        np.testing.assert_array_equal(stream.returns, again.returns)
+        np.testing.assert_array_equal(stream.sector_groups, again.sector_groups)
+
+    def test_correlation_structure_changes_across_regimes(self, stream):
+        first = correlation_matrix(stream.returns[:, stream.regimes == 0])
+        second = correlation_matrix(stream.returns[:, stream.regimes == 1])
+        off_diagonal = ~np.eye(66, dtype=bool)
+        assert np.abs(first - second)[off_diagonal].mean() > 0.05
+
+    def test_same_group_stocks_correlate_more_within_regime(self, stream):
+        for regime in range(stream.num_regimes):
+            correlation = correlation_matrix(
+                stream.returns[:, stream.regimes == regime]
+            )
+            groups = stream.sector_groups[regime][stream.sectors]
+            same = np.equal.outer(groups, groups)
+            np.fill_diagonal(same, False)
+            off_diagonal = ~np.eye(len(groups), dtype=bool)
+            assert correlation[same].mean() > correlation[~same & off_diagonal].mean() + 0.1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_regime_switching_stream(num_stocks=10)
+        with pytest.raises(ValueError):
+            generate_regime_switching_stream(num_regimes=0)
+        with pytest.raises(ValueError):
+            generate_regime_switching_stream(regime_length=1)
+        with pytest.raises(ValueError):
+            generate_regime_switching_stream(group_coupling=1.5)

@@ -1,4 +1,10 @@
-"""Property-based tests (hypothesis) on the core data structures and invariants."""
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+The TMFG and DBHT properties are parametrized over the ``kernel``
+(``python``/``numpy`` hot loops) and, for the DBHT pipeline, over the
+serial/process ``backend`` fixture, so both the bulk-numpy gain updates and
+the picklable process-pool APSP path are covered by the invariants.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +18,7 @@ from repro.core.tmfg import construct_tmfg
 from repro.dendrogram.cut import cut_k
 from repro.graph.planarity import is_planar
 from repro.metrics.ari import adjusted_rand_index
+from repro.parallel.kernels import KERNEL_NAMES
 
 
 def similarity_matrices(min_size=5, max_size=24):
@@ -38,13 +45,31 @@ def _dissimilarity_from(similarity: np.ndarray) -> np.ndarray:
 
 
 class TestTMFGProperties:
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
     @settings(max_examples=25, deadline=None)
     @given(similarity_matrices(), st.integers(min_value=1, max_value=12))
-    def test_tmfg_is_always_maximal_planar(self, similarity, prefix):
+    def test_tmfg_is_always_maximal_planar(self, kernel, similarity, prefix):
         n = similarity.shape[0]
-        result = construct_tmfg(similarity, prefix=prefix, build_bubble_tree=False)
+        result = construct_tmfg(
+            similarity, prefix=prefix, build_bubble_tree=False, kernel=kernel
+        )
         assert result.graph.num_edges == 3 * n - 6
         assert is_planar(result.graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(similarity_matrices(min_size=6, max_size=20), st.integers(min_value=1, max_value=8))
+    def test_warm_replay_of_perturbed_matrix_matches_cold(self, similarity, prefix):
+        """Warm-started builds are identical to cold builds, hit or miss."""
+        rng = np.random.default_rng(int(similarity[0, 1] * 1e6) % (2**32))
+        noise = rng.normal(0.0, 0.05, size=similarity.shape)
+        perturbed = similarity + (noise + noise.T) / 2.0
+        np.fill_diagonal(perturbed, 1.0)
+        hints = construct_tmfg(similarity, prefix=prefix).warm_start_hints()
+        warm = construct_tmfg(perturbed, prefix=prefix, warm_start=hints)
+        cold = construct_tmfg(perturbed, prefix=prefix)
+        assert warm.insertion_order == cold.insertion_order
+        assert warm.edges == cold.edges
+        assert warm.round_sizes == cold.round_sizes
 
     @settings(max_examples=15, deadline=None)
     @given(similarity_matrices(min_size=6, max_size=20), st.integers(min_value=2, max_value=8))
@@ -81,12 +106,17 @@ class TestTMFGProperties:
 
 
 class TestDBHTProperties:
-    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+    )
     @given(similarity_matrices(min_size=8, max_size=20), st.integers(min_value=1, max_value=6))
-    def test_dendrogram_is_complete_and_monotone(self, similarity, prefix):
+    def test_dendrogram_is_complete_and_monotone(self, kernel, backend, similarity, prefix):
         dissimilarity = _dissimilarity_from(similarity)
-        tmfg = construct_tmfg(similarity, prefix=prefix)
-        result = dbht(tmfg, similarity, dissimilarity)
+        tmfg = construct_tmfg(similarity, prefix=prefix, kernel=kernel)
+        result = dbht(tmfg, similarity, dissimilarity, backend=backend, kernel=kernel)
         assert result.dendrogram.is_complete
         assert result.dendrogram.heights_monotone()
 

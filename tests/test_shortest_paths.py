@@ -1,4 +1,11 @@
-"""Tests for Dijkstra SSSP and APSP against scipy."""
+"""Tests for Dijkstra SSSP and APSP against scipy.
+
+The APSP equivalence tests are parametrized over the ``kernel``
+(``python``/``numpy``) and — through the shared ``backend`` fixture — over
+the serial and process execution paths, so the picklable CSR chunk worker
+used by :class:`~repro.parallel.scheduler.ProcessBackend` is exercised by
+the tier-1 suite.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +16,7 @@ from scipy.sparse.csgraph import shortest_path
 
 from repro.graph.shortest_paths import all_pairs_shortest_paths, dijkstra, shortest_paths_from_sources
 from repro.graph.weighted_graph import WeightedGraph
+from repro.parallel.kernels import KERNEL_NAMES
 from repro.parallel.scheduler import ThreadBackend
 
 
@@ -66,9 +74,24 @@ class TestDijkstra:
 
 
 class TestAPSP:
-    def test_matches_scipy(self):
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_matches_scipy(self, kernel, backend):
         graph = _random_graph(30, 0.25, 7)
-        np.testing.assert_allclose(all_pairs_shortest_paths(graph), _scipy_apsp(graph))
+        distances = all_pairs_shortest_paths(graph, backend=backend, kernel=kernel)
+        np.testing.assert_allclose(distances, _scipy_apsp(graph))
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_kernels_and_backends_byte_identical(self, kernel, backend):
+        graph = _random_graph(26, 0.3, 21)
+        reference = all_pairs_shortest_paths(graph, kernel="python")
+        distances = all_pairs_shortest_paths(graph, backend=backend, kernel=kernel)
+        assert np.array_equal(distances, reference)
+
+    def test_subset_of_sources_on_backends(self, backend):
+        graph = _random_graph(15, 0.4, 8)
+        full = all_pairs_shortest_paths(graph)
+        subset = shortest_paths_from_sources(graph, [1, 4, 9], backend=backend)
+        np.testing.assert_allclose(subset, full[[1, 4, 9]])
 
     def test_symmetric_for_undirected_graph(self):
         graph = _random_graph(20, 0.4, 9)

@@ -1,0 +1,208 @@
+"""Tests for the streaming pipeline, TMFG warm starts, and drift metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import tmfg_dbht
+from repro.core.tmfg import construct_tmfg
+from repro.datasets.similarity import correlation_matrix
+from repro.datasets.stocks import generate_regime_switching_stream
+from repro.streaming import StreamingPipeline, TMFGWarmStarter
+from tests.conftest import random_similarity_matrix
+
+
+@pytest.fixture(scope="module")
+def regime_stream():
+    return generate_regime_switching_stream(
+        num_stocks=48, num_days=260, num_regimes=3, regime_length=90, seed=17
+    )
+
+
+class TestWarmStartTMFG:
+    def test_full_replay_on_identical_matrix(self):
+        similarity = random_similarity_matrix(30, seed=4)
+        cold = construct_tmfg(similarity, prefix=1)
+        warm = construct_tmfg(similarity, prefix=1, warm_start=cold.warm_start_hints())
+        assert warm.warm_started
+        assert warm.warm_rounds == warm.rounds == cold.rounds
+        assert warm.insertion_order == cold.insertion_order
+        assert warm.edges == cold.edges
+
+    @pytest.mark.parametrize("prefix", [1, 4])
+    def test_warm_build_identical_to_cold_on_shifted_window(self, prefix):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(40, 140))
+        previous = construct_tmfg(np.corrcoef(data[:, :120]), prefix=prefix)
+        shifted = np.corrcoef(data[:, 10:130])
+        warm = construct_tmfg(shifted, prefix=prefix, warm_start=previous.warm_start_hints())
+        cold = construct_tmfg(shifted, prefix=prefix)
+        assert warm.insertion_order == cold.insertion_order
+        assert warm.edges == cold.edges
+        assert warm.initial_clique == cold.initial_clique
+        assert sorted(warm.graph.edges()) == sorted(cold.graph.edges())
+
+    def test_foreign_hints_fall_back_to_cold(self):
+        hints = construct_tmfg(random_similarity_matrix(20, seed=1)).warm_start_hints()
+        similarity = random_similarity_matrix(20, seed=2)
+        warm = construct_tmfg(similarity, warm_start=hints)
+        cold = construct_tmfg(similarity)
+        assert not warm.warm_started
+        assert warm.insertion_order == cold.insertion_order
+
+    def test_hints_for_wrong_size_are_ignored(self):
+        hints = construct_tmfg(random_similarity_matrix(12, seed=3)).warm_start_hints()
+        similarity = random_similarity_matrix(18, seed=3)
+        warm = construct_tmfg(similarity, warm_start=hints)
+        cold = construct_tmfg(similarity)
+        assert warm.warm_rounds == 0
+        assert warm.insertion_order == cold.insertion_order
+
+    def test_argmax_pair_matches_reference_selection(self):
+        from repro.core.gains import GainTable
+        from repro.core.tmfg import _select_batch
+
+        for seed in range(10):
+            similarity = random_similarity_matrix(14, seed=seed)
+            # Duplicate entries to force exact gain ties.
+            similarity[np.abs(similarity) < 0.3] = 0.5
+            similarity = (similarity + similarity.T) / 2.0
+            np.fill_diagonal(similarity, 1.0)
+            table = GainTable(similarity, remaining=range(4, 14))
+            table.add_faces(
+                [frozenset({0, 1, 2}), frozenset({0, 1, 3}), frozenset({0, 2, 3}), frozenset({1, 2, 3})]
+            )
+            expected = _select_batch(table, prefix=1)[0]
+            scanned = table.argmax_pair()
+            assert (scanned.vertex, scanned.face, scanned.gain) == (
+                expected.vertex,
+                expected.face,
+                expected.gain,
+            )
+
+    def test_warm_starter_aggregates_stats(self):
+        starter = TMFGWarmStarter(enabled=True)
+        similarity = random_similarity_matrix(16, seed=7)
+        assert starter.hints() is None
+        first = construct_tmfg(similarity, warm_start=starter.hints())
+        starter.update(first)
+        second = construct_tmfg(similarity, warm_start=starter.hints())
+        starter.update(second)
+        assert starter.stats.builds == 2
+        assert starter.stats.warm_attempts == 1
+        assert starter.stats.full_replays == 1
+        assert starter.stats.full_replay_rate == 1.0
+        assert starter.stats.round_replay_rate == 1.0
+        disabled = TMFGWarmStarter(enabled=False)
+        disabled.update(first)
+        assert disabled.hints() is None
+
+
+@pytest.mark.slow
+class TestStreamingEquivalence:
+    def test_warm_cut_identical_to_cold_recompute_over_20_ticks(self, regime_stream):
+        """Acceptance: every warm tick's flat cut equals a cold from-scratch run."""
+        pipeline = StreamingPipeline(
+            regime_stream.returns,
+            window=100,
+            hop=8,
+            num_clusters=5,
+            warm_start=True,
+        )
+        ticks = list(pipeline.iter_ticks())
+        assert len(ticks) >= 20
+        for tick in ticks:
+            window = regime_stream.returns[:, tick.start : tick.stop]
+            cold = tmfg_dbht(correlation_matrix(window)).cut(5)
+            np.testing.assert_array_equal(tick.labels, cold)
+
+    def test_warm_and_cold_pipelines_emit_identical_cuts(self, regime_stream):
+        kwargs = dict(window=90, hop=10, num_clusters=4)
+        warm = StreamingPipeline(regime_stream.returns, warm_start=True, **kwargs).run()
+        cold = StreamingPipeline(regime_stream.returns, warm_start=False, **kwargs).run()
+        assert warm.num_ticks == cold.num_ticks >= 15
+        for warm_tick, cold_tick in zip(warm.ticks, cold.ticks):
+            np.testing.assert_array_equal(warm_tick.labels, cold_tick.labels)
+        assert cold.warm_stats.warm_attempts == 0
+
+
+class TestStreamingPipeline:
+    def test_tick_geometry_and_metadata(self, regime_stream):
+        pipeline = StreamingPipeline(
+            regime_stream.returns, window=120, hop=30, num_clusters=4
+        )
+        result = pipeline.run()
+        assert result.num_ticks == pipeline.num_ticks == 1 + (260 - 120) // 30
+        for index, tick in enumerate(result.ticks):
+            assert tick.tick == index
+            assert tick.stop - tick.start == 120
+            assert tick.start == index * 30
+            assert set(tick.step_seconds) == {
+                "similarity",
+                "tmfg",
+                "apsp",
+                "bubble-tree",
+                "hierarchy",
+                "total",
+            }
+            assert tick.labels.shape == (48,)
+        assert result.ticks[0].drift_ari is None
+        assert all(t.drift_ari is not None for t in result.ticks[1:])
+        assert result.mean_tick_seconds() > 0.0
+
+    def test_drift_metrics_detect_regime_change(self, regime_stream):
+        """Drift ARI dips when the window crosses a regime boundary."""
+        pipeline = StreamingPipeline(
+            regime_stream.returns, window=60, hop=30, num_clusters=5
+        )
+        result = pipeline.run()
+        drifts = [t.drift_ari for t in result.ticks[1:]]
+        # Ticks fully inside one regime agree with each other more than
+        # ticks straddling a boundary; the mean drift is therefore bounded
+        # away from both 0 (no structure) and 1 (no drift at all).
+        assert 0.0 < np.mean(drifts) < 1.0
+        assert result.mean_drift_ari() == pytest.approx(np.mean(drifts))
+        assert result.mean_drift_ami() is not None
+
+    def test_max_ticks_caps_the_run(self, regime_stream):
+        pipeline = StreamingPipeline(
+            regime_stream.returns, window=100, hop=10, num_clusters=4, max_ticks=3
+        )
+        result = pipeline.run()
+        assert result.num_ticks == pipeline.num_ticks == 3
+
+    def test_labels_property_and_warm_stats(self, regime_stream):
+        result = StreamingPipeline(
+            regime_stream.returns, window=150, hop=50, num_clusters=4
+        ).run()
+        np.testing.assert_array_equal(result.labels, result.ticks[-1].labels)
+        assert result.warm_stats.builds == result.num_ticks
+
+    def test_kernel_choice_does_not_change_cuts(self, regime_stream):
+        kwargs = dict(window=120, hop=60, num_clusters=4)
+        numpy_run = StreamingPipeline(
+            regime_stream.returns, kernel="numpy", **kwargs
+        ).run()
+        python_run = StreamingPipeline(
+            regime_stream.returns, kernel="python", **kwargs
+        ).run()
+        for a, b in zip(numpy_run.ticks, python_run.ticks):
+            np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_invalid_parameters_rejected(self, regime_stream):
+        returns = regime_stream.returns
+        with pytest.raises(ValueError):
+            StreamingPipeline(returns, window=1000)
+        with pytest.raises(ValueError):
+            StreamingPipeline(returns, window=50, hop=0)
+        with pytest.raises(ValueError):
+            StreamingPipeline(returns, window=1)
+        with pytest.raises(ValueError):
+            StreamingPipeline(returns[:2], window=50)
+        with pytest.raises(ValueError):
+            StreamingPipeline(returns, window=50, num_clusters=0)
+        with pytest.raises(ValueError):
+            StreamingPipeline(returns, window=50, max_ticks=0)
+        with pytest.raises(ValueError):
+            StreamingPipeline(np.zeros(5), window=2)
