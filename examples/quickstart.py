@@ -1,9 +1,10 @@
 """Quickstart: hierarchical clustering of time series with TMFG + DBHT.
 
-Generates a small labelled time-series data set, builds the similarity /
-dissimilarity matrices, runs the full pipeline of the paper (prefix-batched
-TMFG construction followed by the DBHT), and evaluates the flat clustering
-obtained by cutting the dendrogram at the number of ground-truth classes.
+Generates a small labelled time-series data set, describes the run with a
+``ClusteringConfig``, fits the paper's pipeline (prefix-batched TMFG
+construction followed by the DBHT) through the estimator API, and evaluates
+the flat clustering obtained by cutting the dendrogram at the number of
+ground-truth classes.
 
 Run with:  python examples/quickstart.py
 """
@@ -12,8 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import tmfg_dbht
-from repro.datasets.similarity import similarity_and_dissimilarity
+from repro import ClusteringConfig, make_estimator
 from repro.datasets.synthetic import make_time_series_dataset
 from repro.metrics.ari import adjusted_rand_index
 from repro.metrics.ami import adjusted_mutual_information
@@ -31,28 +31,39 @@ def main() -> None:
     )
     print(f"data set: {dataset.num_objects} series, {dataset.num_classes} classes")
 
-    # 2. Pearson correlations as similarity, sqrt(2(1-p)) as dissimilarity.
-    similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
-
-    # 3. The paper's pipeline.  prefix=1 is the exact sequential TMFG;
-    #    larger prefixes batch insertions for parallelism.
+    # 2. The paper's pipeline through the estimator API.  prefix=1 is the
+    #    exact sequential TMFG; larger prefixes batch insertions for
+    #    parallelism.  The estimator computes the Pearson similarity and the
+    #    sqrt(2(1-p)) dissimilarity from the raw series itself.
+    config = ClusteringConfig(method="tmfg-dbht", num_clusters=dataset.num_classes)
+    prefix10_labels = None
     for prefix in (1, 10):
-        result = tmfg_dbht(similarity, dissimilarity, prefix=prefix)
-        labels = result.cut(dataset.num_classes)
+        estimator = make_estimator(config.method, config.replace(prefix=prefix))
+        labels = estimator.fit_predict(dataset.data)
+        if prefix == 10:
+            prefix10_labels = labels
+        result = estimator.result_
+        pipeline = result.raw
         ari = adjusted_rand_index(dataset.labels, labels)
         ami = adjusted_mutual_information(dataset.labels, labels)
-        total = sum(result.step_seconds.values())
         print(
             f"prefix {prefix:>3}: "
-            f"TMFG rounds={result.tmfg.rounds:>4}  "
-            f"edges={result.tmfg.graph.num_edges}  "
+            f"TMFG rounds={pipeline.tmfg.rounds:>4}  "
+            f"edges={pipeline.tmfg.graph.num_edges}  "
             f"ARI={ari:.3f}  AMI={ami:.3f}  "
-            f"time={total:.2f}s "
-            f"({', '.join(f'{k}={v:.2f}s' for k, v in result.step_seconds.items())})"
+            f"time={result.seconds:.2f}s "
+            f"({', '.join(f'{k}={v:.2f}s' for k, v in result.step_seconds.items() if k != 'total')})"
         )
 
+    # 3. The config round-trips through JSON, so a run is reproducible from
+    #    its serialized form alone (repro cluster --config cfg.json).
+    serialized = config.replace(prefix=10).to_json()
+    restored = ClusteringConfig.from_json(serialized)
+    result = make_estimator(restored.method, restored).fit(dataset.data).result_
+    print(f"config JSON round-trip: {len(serialized)} bytes, same labels: "
+          f"{np.array_equal(result.labels, prefix10_labels)}")
+
     # 4. The dendrogram itself: inspect the top of the hierarchy.
-    result = tmfg_dbht(similarity, dissimilarity, prefix=10)
     dendrogram = result.dendrogram
     root = dendrogram.node(dendrogram.root)
     print(

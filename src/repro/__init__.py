@@ -9,29 +9,45 @@ Hierarchy Trees (DBHT) optimised for TMFG inputs, and ships the baselines
 k-means), synthetic data sets, metrics, and an experiment harness that
 regenerates every table and figure of the paper's evaluation.
 
-Quickstart::
+Quickstart (the estimator API)::
 
-    import numpy as np
-    from repro import tmfg_dbht
-    from repro.datasets import make_time_series_dataset, similarity_and_dissimilarity
+    from repro import ClusteringConfig, make_estimator
+    from repro.datasets import make_time_series_dataset
     from repro.metrics import adjusted_rand_index
 
     dataset = make_time_series_dataset(num_objects=200, length=128, num_classes=4, seed=0)
-    similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
-    result = tmfg_dbht(similarity, dissimilarity, prefix=10)
-    labels = result.cut(dataset.num_classes)
+    config = ClusteringConfig(method="tmfg-dbht", prefix=10, num_clusters=4)
+    labels = make_estimator(config.method, config).fit_predict(dataset.data)
     print(adjusted_rand_index(dataset.labels, labels))
+
+The functional entry point ``tmfg_dbht(similarity, dissimilarity, ...)``
+remains available (and byte-identical); see :mod:`repro.api` for the full
+estimator layer, including the batch front door ``cluster_many``.
 """
 
+from repro.api import (
+    ClusteringConfig,
+    ClusterResult,
+    TMFGClusterer,
+    available_estimators,
+    cluster_many,
+    make_estimator,
+)
 from repro.core.dbht import DBHTResult, dbht
 from repro.core.pipeline import PipelineResult, tmfg_dbht
 from repro.core.tmfg import TMFGResult, construct_tmfg
 from repro.dendrogram import Dendrogram, cut_height, cut_k
 from repro.metrics import adjusted_mutual_information, adjusted_rand_index
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ClusteringConfig",
+    "ClusterResult",
+    "TMFGClusterer",
+    "available_estimators",
+    "make_estimator",
+    "cluster_many",
     "DBHTResult",
     "dbht",
     "PipelineResult",

@@ -1,0 +1,77 @@
+"""Batch front door: cluster many matrices through one config.
+
+:func:`cluster_many` is the first serving-shaped endpoint of the library:
+give it a sequence of input matrices (independent jobs — different
+windows, different markets, different scenario sweeps) and one
+:class:`~repro.api.config.ClusteringConfig`, and it fans the fits out over
+a :mod:`repro.parallel.scheduler` backend, returning one
+:class:`~repro.api.result.ClusterResult` per input, in order.
+
+The fan-out backend is independent of ``config.backend`` (which
+parallelises *inside* one fit); with a process fan-out, keep the per-fit
+config serial — nesting pools multiplies workers.  Jobs are dispatched as
+``(config, matrix)`` through a module-level function, so the process
+backend can pickle them, and every result object the estimators produce is
+built from plain arrays/dataclasses and pickles back.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.config import ClusteringConfig
+from repro.api.estimators import make_estimator
+from repro.api.result import ClusterResult
+from repro.parallel.scheduler import ParallelBackend, SerialBackend, make_backend
+
+
+def fit_one(config: ClusteringConfig, matrix: np.ndarray) -> ClusterResult:
+    """Fit ``config.method`` on one matrix (the unit of batch work)."""
+    estimator = make_estimator(config.method, config)
+    estimator.fit(matrix)
+    assert estimator.result_ is not None
+    return estimator.result_
+
+
+def cluster_many(
+    matrices: Sequence[np.ndarray],
+    config: Optional[ClusteringConfig] = None,
+    backend: Optional[Union[ParallelBackend, str]] = None,
+    workers: Optional[int] = None,
+) -> List[ClusterResult]:
+    """Cluster every matrix in ``matrices`` with the same config.
+
+    Parameters
+    ----------
+    matrices:
+        Independent input matrices (raw series per row, or precomputed
+        similarities when ``config.precomputed``).
+    config:
+        The shared :class:`ClusteringConfig` (defaults when ``None``).
+    backend:
+        Fan-out backend: a live :class:`ParallelBackend` (caller closes
+        it), a name (``"serial"``/``"thread"``/``"process"`` — opened and
+        closed here), or ``None`` for serial.
+    workers:
+        Worker count when ``backend`` is a name.
+
+    Returns
+    -------
+    list of ClusterResult
+        One result per input matrix, in input order.
+    """
+    config = config if config is not None else ClusteringConfig()
+    owns_backend = False
+    if backend is None:
+        backend = SerialBackend()
+    elif isinstance(backend, str):
+        backend = make_backend(backend, num_workers=workers)
+        owns_backend = True
+    try:
+        return backend.map(partial(fit_one, config), list(matrices))
+    finally:
+        if owns_backend:
+            backend.close()

@@ -410,15 +410,10 @@ def pmfg_dbht(
 ) -> ClassicDBHTResult:
     """The paper's PMFG-DBHT baseline: build the PMFG, then the original DBHT."""
     from repro.baselines.pmfg import construct_pmfg
-    from repro.datasets.similarity import correlation_to_dissimilarity
-    from repro.graph.matrix import correlation_like
+    from repro.datasets.similarity import default_dissimilarity
 
     similarity = np.asarray(similarity, dtype=float)
     if dissimilarity is None:
-        if correlation_like(similarity):
-            dissimilarity = correlation_to_dissimilarity(similarity)
-        else:
-            dissimilarity = similarity.max() - similarity
-            np.fill_diagonal(dissimilarity, 0.0)
+        dissimilarity = default_dissimilarity(similarity)
     pmfg = construct_pmfg(similarity)
     return classic_dbht(pmfg.graph, dissimilarity, kernel=kernel, backend=backend)

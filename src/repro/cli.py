@@ -3,8 +3,12 @@
 Three subcommands cover the library's main workflows without writing Python:
 
 ``cluster``
-    Cluster a CSV/NPY matrix of time series (one object per row) with
-    TMFG + DBHT and write the flat labels (and optionally a Newick tree).
+    Cluster a CSV/NPY matrix with any registered estimator (``--method``,
+    default TMFG + DBHT) and write the flat labels (and optionally a Newick
+    tree).  The run is described by a :class:`~repro.api.ClusteringConfig`;
+    ``--config cfg.json`` loads one (CLI flags override it) and
+    ``--save-config cfg.json`` writes the resolved config back out, so a
+    run can be reproduced from its serialized configuration alone.
 
 ``stream``
     Slide a rolling correlation window across a return stream (one asset
@@ -19,6 +23,8 @@ Examples
 ::
 
     python -m repro cluster data.csv --clusters 5 --prefix 10 --out labels.csv
+    python -m repro cluster data.csv --clusters 5 --method hac-average
+    python -m repro cluster data.csv --config cfg.json
     python -m repro stream returns.csv --clusters 5 --window 250 --hop 5 --json ticks.json
     python -m repro figure fig6 --scale 0.02
     python -m repro list-figures
@@ -28,20 +34,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro import __version__
-from repro.core.pipeline import tmfg_dbht
-from repro.datasets.similarity import similarity_and_dissimilarity
+from repro.api.config import ClusteringConfig
+from repro.api.estimators import available_estimators, make_estimator
 from repro.dendrogram.export import to_newick
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_stream_ticks, format_table
 from repro.parallel.kernels import KERNEL_NAMES
-from repro.parallel.scheduler import BACKEND_NAMES, make_backend
+from repro.parallel.scheduler import BACKEND_NAMES
 from repro.streaming.runner import StreamingPipeline
 
 FIGURE_ENTRY_POINTS: Dict[str, Callable[..., dict]] = {
@@ -74,46 +81,114 @@ def _load_matrix(path: str) -> np.ndarray:
     return matrix
 
 
-def _validate_workers(args: argparse.Namespace) -> Optional[str]:
-    """Error message for an invalid --workers/--backend combination, or None."""
-    if args.workers is not None and args.backend in (None, "serial"):
-        return "--workers has no effect without --backend thread|process"
-    if args.workers is not None and args.workers < 1:
-        return "--workers must be at least 1"
-    return None
+# Config-field -> CLI-flag spelling, applied to validation errors so the
+# message names the flag the user typed.  Only whole field names are
+# replaced (not substrings of other fields or of already-spelled flags),
+# and only for errors raised from flag handling — errors from a --config
+# file keep the JSON field names the file actually uses.
+_FLAG_SPELLINGS = (
+    ("num_clusters", "--clusters"),
+    ("workers", "--workers"),
+    ("backend", "--backend"),
+    ("kernel", "--kernel"),
+    ("prefix", "--prefix"),
+    ("method", "--method"),
+)
 
 
-def _make_cli_backend(args: argparse.Namespace):
-    """Construct the backend requested on the command line (caller closes it)."""
-    if args.backend and args.backend != "serial":
-        return make_backend(args.backend, num_workers=args.workers)
-    return None
+def _flagged_message(error: Exception) -> str:
+    message = str(error)
+    for field_name, flag in _FLAG_SPELLINGS:
+        message = re.sub(rf"(?<![\w-]){field_name}(?![\w-])", flag, message)
+    return message
+
+
+class _ConfigFileError(ValueError):
+    """A --config file failed to load; message uses JSON field names."""
+
+
+def _config_from_args(args: argparse.Namespace, default: ClusteringConfig) -> ClusteringConfig:
+    """The one CLI path from parsed flags to a validated ClusteringConfig.
+
+    ``--config`` (when present) replaces ``default`` as the base; explicit
+    flags override the base field by field.  Validation happens in the
+    frozen dataclass, so every subcommand shares the same rules (e.g.
+    ``--workers`` without a parallel ``--backend`` is rejected here).
+    """
+    base = default
+    config_path = getattr(args, "config", None)
+    if config_path:
+        try:
+            with open(config_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("a ClusteringConfig JSON document must be an object")
+            # Overlay onto the subcommand's defaults so a partial file does
+            # not silently revert them (e.g. cluster's prefix 10).
+            base = base.merged(payload)
+        except (ValueError, OSError) as error:
+            raise _ConfigFileError(f"bad --config file {config_path}: {error}") from error
+    changes = {}
+    if getattr(args, "method", None) is not None:
+        changes["method"] = args.method
+    if getattr(args, "clusters", None) is not None:
+        changes["num_clusters"] = args.clusters
+    if getattr(args, "prefix", None) is not None:
+        changes["prefix"] = args.prefix
+    if getattr(args, "kernel", None) is not None:
+        changes["kernel"] = args.kernel
+    if getattr(args, "backend", None) is not None:
+        changes["backend"] = args.backend
+    if getattr(args, "workers", None) is not None:
+        changes["workers"] = args.workers
+    if getattr(args, "precomputed", False):
+        changes["precomputed"] = True
+    if getattr(args, "cold", False) and getattr(args, "warm", False):
+        raise ValueError("--cold and --warm are mutually exclusive")
+    if getattr(args, "cold", False):
+        changes["warm_start"] = False
+    if getattr(args, "warm", False):
+        changes["warm_start"] = True
+    return base.replace(**changes)
+
+
+def _print_cli_error(error: Exception) -> None:
+    if isinstance(error, _ConfigFileError):
+        print(str(error), file=sys.stderr)
+    else:
+        print(_flagged_message(error), file=sys.stderr)
 
 
 def _command_cluster(args: argparse.Namespace) -> int:
-    data = _load_matrix(args.input)
-    if args.precomputed:
-        similarity = data
-        dissimilarity = None
-    else:
-        similarity, dissimilarity = similarity_and_dissimilarity(data)
-    error = _validate_workers(args)
-    if error:
-        print(error, file=sys.stderr)
-        return 2
-    backend = _make_cli_backend(args)
     try:
-        result = tmfg_dbht(
-            similarity,
-            dissimilarity,
-            prefix=args.prefix,
-            kernel=args.kernel,
-            backend=backend,
+        config = _config_from_args(args, ClusteringConfig(prefix=10))
+    except (ValueError, OSError) as error:
+        _print_cli_error(error)
+        return 2
+    if config.num_clusters is None:
+        print("--clusters is required (as a flag or via --config)", file=sys.stderr)
+        return 2
+    data = _load_matrix(args.input)
+    try:
+        estimator = make_estimator(config.method, config)
+        result = estimator.fit(data).result_
+    except ValueError as error:
+        # Fit-time values may come from a --config file, so keep the raw
+        # field names (flag spelling applies only to flag-merge errors).
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.newick and result.dendrogram is None:
+        # Fail before writing any output so a non-zero exit leaves no files.
+        print(
+            f"method {config.method!r} builds no dendrogram; --newick is unavailable",
+            file=sys.stderr,
         )
-    finally:
-        if backend is not None:
-            backend.close()
-    labels = result.cut(args.clusters)
+        return 2
+    if args.save_config:
+        with open(args.save_config, "w", encoding="utf-8") as handle:
+            handle.write(config.to_json(indent=2) + "\n")
+        print(f"wrote config to {args.save_config}")
+    labels = result.labels
     if args.out:
         np.savetxt(args.out, labels, fmt="%d")
         print(f"wrote {len(labels)} labels to {args.out}")
@@ -123,6 +198,10 @@ def _command_cluster(args: argparse.Namespace) -> int:
         with open(args.newick, "w", encoding="utf-8") as handle:
             handle.write(to_newick(result.dendrogram) + "\n")
         print(f"wrote Newick tree to {args.newick}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=2) + "\n")
+        print(f"wrote result to {args.json}")
     sizes = np.bincount(labels)
     print(f"clusters: {len(sizes)}  sizes: {sizes.tolist()}")
     timing = "  ".join(f"{k}={v:.2f}s" for k, v in result.step_seconds.items())
@@ -131,32 +210,28 @@ def _command_cluster(args: argparse.Namespace) -> int:
 
 
 def _command_stream(args: argparse.Namespace) -> int:
-    returns = _load_matrix(args.input)
-    error = _validate_workers(args)
-    if error:
-        print(error, file=sys.stderr)
+    try:
+        config = _config_from_args(args, ClusteringConfig(warm_start=True))
+    except (ValueError, OSError) as error:
+        _print_cli_error(error)
         return 2
-    backend = _make_cli_backend(args)
+    if config.num_clusters is None:
+        print("--clusters is required (as a flag or via --config)", file=sys.stderr)
+        return 2
+    returns = _load_matrix(args.input)
     try:
         pipeline = StreamingPipeline(
             returns,
             window=args.window,
             hop=args.hop,
-            num_clusters=args.clusters,
-            prefix=args.prefix,
-            warm_start=not args.cold,
-            kernel=args.kernel,
-            backend=backend,
             max_ticks=args.max_ticks,
+            config=config,
         )
         result = pipeline.run()
     except ValueError as error:
-        print(str(error), file=sys.stderr)
+        print(_flagged_message(error), file=sys.stderr)
         return 2
-    finally:
-        if backend is not None:
-            backend.close()
-    mode = "cold" if args.cold else "warm"
+    mode = "warm" if config.warm_start else "cold"
     print(
         format_stream_ticks(
             result.ticks,
@@ -165,7 +240,7 @@ def _command_stream(args: argparse.Namespace) -> int:
     )
     stats = result.warm_stats
     summary = f"ticks: {result.num_ticks}  mean tick: {result.mean_tick_seconds():.4f}s"
-    if not args.cold:
+    if config.warm_start:
         summary += (
             f"  warm replay: {stats.round_replay_rate:.1%} of rounds "
             f"({stats.full_replays}/{stats.warm_attempts} full)"
@@ -181,8 +256,9 @@ def _command_stream(args: argparse.Namespace) -> int:
         payload = {
             "window": args.window,
             "hop": args.hop,
-            "clusters": args.clusters,
-            "warm": not args.cold,
+            "clusters": config.num_clusters,
+            "warm": config.warm_start,
+            "config": config.to_dict(),
             "ticks": [
                 {
                     "tick": tick.tick,
@@ -228,6 +304,39 @@ def _command_list_figures(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_list_methods(_: argparse.Namespace) -> int:
+    for name in available_estimators():
+        print(name)
+    return 0
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """The kernel/backend/workers flags shared by cluster and stream."""
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default=None,
+        help="hot-loop kernel for gains/APSP (default: numpy; identical results)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="parallel backend for the APSP source chunks (default: serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backend (default: cpu count)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="load a serialized ClusteringConfig JSON (explicit flags override it)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -238,10 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    cluster = subparsers.add_parser("cluster", help="cluster a data matrix with TMFG + DBHT")
+    cluster = subparsers.add_parser("cluster", help="cluster a data matrix with any registered method")
     cluster.add_argument("input", help="CSV or .npy file, one object per row")
-    cluster.add_argument("--clusters", type=int, required=True, help="number of flat clusters")
-    cluster.add_argument("--prefix", type=int, default=10, help="TMFG prefix size (1 = exact)")
+    cluster.add_argument(
+        "--clusters",
+        type=int,
+        default=None,
+        help="number of flat clusters (required unless --config carries num_clusters)",
+    )
+    cluster.add_argument(
+        "--method",
+        choices=available_estimators(),
+        default=None,
+        help="estimator id from the method registry (default: tmfg-dbht)",
+    )
+    cluster.add_argument(
+        "--prefix", type=int, default=None, help="TMFG prefix size (default 10; 1 = exact)"
+    )
     cluster.add_argument(
         "--precomputed",
         action="store_true",
@@ -249,24 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--out", help="write labels to this file (one per line)")
     cluster.add_argument("--newick", help="also write the dendrogram as a Newick file")
+    cluster.add_argument("--json", help="write the full ClusterResult as JSON to this file")
     cluster.add_argument(
-        "--kernel",
-        choices=KERNEL_NAMES,
+        "--save-config",
         default=None,
-        help="hot-loop kernel for gains/APSP (default: numpy; identical results)",
+        help="write the resolved ClusteringConfig as JSON to this file",
     )
-    cluster.add_argument(
-        "--backend",
-        choices=BACKEND_NAMES,
-        default=None,
-        help="parallel backend for the APSP source chunks (default: serial)",
-    )
-    cluster.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker count for the thread/process backend (default: cpu count)",
-    )
+    _add_execution_flags(cluster)
     cluster.set_defaults(func=_command_cluster)
 
     stream = subparsers.add_parser(
@@ -274,36 +385,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="rolling-window streaming clustering of a return stream",
     )
     stream.add_argument("input", help="CSV or .npy return matrix, one asset per row")
-    stream.add_argument("--clusters", type=int, required=True, help="flat clusters per tick")
+    stream.add_argument(
+        "--clusters",
+        type=int,
+        default=None,
+        help="flat clusters per tick (required unless --config carries num_clusters)",
+    )
     stream.add_argument("--window", type=int, required=True, help="observations per window")
     stream.add_argument("--hop", type=int, default=1, help="observations per tick (default 1)")
-    stream.add_argument("--prefix", type=int, default=1, help="TMFG prefix size (1 = exact)")
+    stream.add_argument("--prefix", type=int, default=None, help="TMFG prefix size (default 1 = exact)")
     stream.add_argument(
         "--cold",
         action="store_true",
         help="disable TMFG warm starts (identical labels; cold-rebuild timing)",
     )
+    stream.add_argument(
+        "--warm",
+        action="store_true",
+        help="force TMFG warm starts on (overrides warm_start=false in --config)",
+    )
     stream.add_argument("--max-ticks", type=int, default=None, help="stop after this many ticks")
     stream.add_argument("--out", help="write the final tick's labels to this file")
     stream.add_argument("--json", help="write the per-tick report as JSON to this file")
-    stream.add_argument(
-        "--kernel",
-        choices=KERNEL_NAMES,
-        default=None,
-        help="hot-loop kernel for gains/APSP (default: numpy; identical results)",
-    )
-    stream.add_argument(
-        "--backend",
-        choices=BACKEND_NAMES,
-        default=None,
-        help="parallel backend for the APSP source chunks (default: serial)",
-    )
-    stream.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker count for the thread/process backend (default: cpu count)",
-    )
+    _add_execution_flags(stream)
     stream.set_defaults(func=_command_stream)
 
     figure = subparsers.add_parser("figure", help="re-run one of the paper's figures")
@@ -313,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_figures = subparsers.add_parser("list-figures", help="list available figure ids")
     list_figures.set_defaults(func=_command_list_figures)
+
+    list_methods = subparsers.add_parser(
+        "list-methods", help="list the estimator ids the method registry resolves"
+    )
+    list_methods.set_defaults(func=_command_list_methods)
     return parser
 
 

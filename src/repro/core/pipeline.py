@@ -1,9 +1,16 @@
-"""One-call public API: filtered-graph hierarchical clustering.
+"""One-call functional entry point: filtered-graph hierarchical clustering.
 
 ``tmfg_dbht`` runs the whole pipeline of the paper — build the (prefix-
 batched) TMFG from a similarity matrix, then the DBHT on top of it — and
-returns the dendrogram together with all intermediate artefacts.  This is
-the entry point the examples and the experiment harness use.
+returns the dendrogram together with all intermediate artefacts.
+
+.. note::
+   New code should prefer the estimator layer in :mod:`repro.api`
+   (``TMFGClusterer`` / ``make_estimator`` driven by a
+   :class:`~repro.api.ClusteringConfig`), which wraps this function without
+   changing its output; ``tmfg_dbht`` is kept as a thin, byte-identical
+   shim for existing callers and may eventually be folded into the
+   estimator layer.
 """
 
 from __future__ import annotations
@@ -16,9 +23,9 @@ import numpy as np
 
 from repro.core.dbht import DBHTResult, dbht
 from repro.core.tmfg import TMFGResult, WarmStartHints, construct_tmfg
-from repro.datasets.similarity import correlation_to_dissimilarity
+from repro.datasets.similarity import default_dissimilarity
 from repro.dendrogram.node import Dendrogram
-from repro.graph.matrix import correlation_like, validate_similarity_matrix
+from repro.graph.matrix import validate_similarity_matrix
 from repro.parallel.cost_model import WorkSpanTracker
 from repro.parallel.scheduler import ParallelBackend
 
@@ -95,11 +102,7 @@ def tmfg_dbht(
     """
     similarity = validate_similarity_matrix(similarity)
     if dissimilarity is None:
-        if correlation_like(similarity):
-            dissimilarity = correlation_to_dissimilarity(similarity)
-        else:
-            dissimilarity = similarity.max() - similarity
-            np.fill_diagonal(dissimilarity, 0.0)
+        dissimilarity = default_dissimilarity(similarity)
     tracker = tracker if tracker is not None else WorkSpanTracker()
 
     start = time.perf_counter()

@@ -53,6 +53,25 @@ def similarity_and_dissimilarity(data: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     return similarity, correlation_to_dissimilarity(similarity)
 
 
+def default_dissimilarity(similarity: np.ndarray) -> np.ndarray:
+    """The pipeline's default dissimilarity for a bare similarity matrix.
+
+    Correlation-like matrices get the paper's ``sqrt(2 (1 - p))`` transform;
+    anything else gets the rank-preserving ``max(S) - S`` with a zeroed
+    diagonal.  This is the single source of truth for every entry point that
+    accepts a similarity matrix without an explicit dissimilarity
+    (``tmfg_dbht``, ``pmfg_dbht``, the estimator API).
+    """
+    from repro.graph.matrix import correlation_like
+
+    similarity = np.asarray(similarity, dtype=float)
+    if correlation_like(similarity):
+        return correlation_to_dissimilarity(similarity)
+    dissimilarity = similarity.max() - similarity
+    np.fill_diagonal(dissimilarity, 0.0)
+    return dissimilarity
+
+
 def log_returns(prices: np.ndarray) -> np.ndarray:
     """Daily log-returns of a price matrix (stocks in rows, days in columns)."""
     prices = np.asarray(prices, dtype=float)

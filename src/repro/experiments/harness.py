@@ -5,6 +5,11 @@ it a method name (the same names the paper uses: ``PAR-TDBHT-10``, ``COMP``,
 ``AVG``, ``K-MEANS``, ...), a labelled data set, and it returns the flat
 clustering, its quality, the wall-clock time, and — for the TMFG+DBHT
 pipeline — the per-step timing decomposition used by Fig. 5.
+
+Each paper name is translated into a :class:`~repro.api.ClusteringConfig`
+plus a registry id and executed through
+:func:`~repro.api.estimators.make_estimator`, so the harness runs the same
+estimator layer as the CLI and the batch front door.
 """
 
 from __future__ import annotations
@@ -12,22 +17,18 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.baselines.classic_dbht import classic_dbht, pmfg_dbht
-from repro.baselines.hac import hac_dendrogram
-from repro.baselines.kmeans import kmeans
+from repro.api.config import ClusteringConfig
+from repro.api.estimators import make_estimator
 from repro.baselines.pmfg import construct_pmfg
-from repro.baselines.spectral import spectral_kmeans
-from repro.core.pipeline import tmfg_dbht
-from repro.core.tmfg import construct_tmfg
 from repro.datasets.similarity import similarity_and_dissimilarity
 from repro.datasets.synthetic import LabelledDataset
-from repro.dendrogram.cut import cut_k
 from repro.metrics.ami import adjusted_mutual_information
 from repro.metrics.ari import adjusted_rand_index
+from repro.parallel.scheduler import ParallelBackend
 from repro.streaming.runner import StreamingPipeline
 
 
@@ -48,6 +49,16 @@ class MethodRun:
 _PAR_TDBHT_PATTERN = re.compile(r"^PAR-TDBHT-(\d+)$", re.IGNORECASE)
 _STREAM_TDBHT_PATTERN = re.compile(r"^STREAM-TDBHT-(\d+)(-COLD)?$", re.IGNORECASE)
 
+# Paper name -> estimator-registry id for the fixed (non-parameterised) names.
+_METHOD_IDS = {
+    "SEQ-TDBHT": "classic-dbht",
+    "PMFG-DBHT": "pmfg-dbht",
+    "COMP": "hac-complete",
+    "AVG": "hac-average",
+    "K-MEANS": "kmeans",
+    "K-MEANS-S": "spectral",
+}
+
 
 def available_methods() -> List[str]:
     """Names accepted by :func:`run_method` (prefix sizes are free-form)."""
@@ -64,6 +75,15 @@ def available_methods() -> List[str]:
         "K-MEANS",
         "K-MEANS-S",
     ]
+
+
+def _split_backend(
+    backend: Optional[Union[ParallelBackend, str]]
+) -> tuple:
+    """Split a backend given as instance-or-name into (name, instance)."""
+    if isinstance(backend, str):
+        return backend, None
+    return None, backend
 
 
 def run_method(
@@ -117,15 +137,21 @@ def run_method(
             else min(length, max(8, length // 2))
         )
         hop = stream_hop if stream_hop is not None else max(1, (length - window) // 8)
-        pipeline = StreamingPipeline(
-            dataset.data,
-            window=window,
-            hop=hop,
+        backend_name, backend_instance = _split_backend(backend)
+        stream_config = ClusteringConfig(
+            method="tmfg-dbht",
             num_clusters=num_clusters,
             prefix=prefix,
             warm_start=warm,
             kernel=kernel,
-            backend=backend,
+            backend=backend_name,
+        )
+        pipeline = StreamingPipeline(
+            dataset.data,
+            window=window,
+            hop=hop,
+            backend=backend_instance,
+            config=stream_config,
         )
         stream_result = pipeline.run()
         labels = stream_result.labels
@@ -152,60 +178,41 @@ def run_method(
             extras=extras,
         )
 
+    backend_name, backend_instance = _split_backend(backend)
     par_match = _PAR_TDBHT_PATTERN.match(name)
+    method_id: Optional[str] = None
+    prefix = 1
     if par_match:
+        method_id = "tmfg-dbht"
         prefix = int(par_match.group(1))
-        similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
-        result = tmfg_dbht(
-            similarity, dissimilarity, prefix=prefix, kernel=kernel, backend=backend
-        )
-        labels = result.cut(num_clusters)
-        step_seconds = dict(result.step_seconds)
-        extras["tracker"] = result.tracker
-        extras["edge_weight_sum"] = result.tmfg.edge_weight_sum()
-        extras["rounds"] = result.tmfg.rounds
-    elif name == "SEQ-TDBHT":
-        # Stand-in for the original sequential TMFG + DBHT implementation:
-        # exact TMFG (prefix 1) followed by the original quadratic-work DBHT
-        # steps (triangle-enumeration bubble tree, BFS edge direction).
-        similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
-        tmfg_start = time.perf_counter()
-        tmfg = construct_tmfg(similarity, prefix=1, build_bubble_tree=False, kernel=kernel)
-        step_seconds["tmfg"] = time.perf_counter() - tmfg_start
-        dbht_start = time.perf_counter()
-        result = classic_dbht(tmfg.graph, dissimilarity, kernel=kernel, backend=backend)
-        step_seconds["dbht"] = time.perf_counter() - dbht_start
-        labels = result.cut(num_clusters)
-        extras["edge_weight_sum"] = tmfg.edge_weight_sum()
-    elif name == "PMFG-DBHT":
-        similarity, dissimilarity = similarity_and_dissimilarity(dataset.data)
-        result = pmfg_dbht(similarity, dissimilarity, kernel=kernel, backend=backend)
-        labels = result.cut(num_clusters)
     elif name == "PMFG":
+        # Graph-quality reference only (Fig. 7); no estimator, no clustering.
         similarity, _ = similarity_and_dissimilarity(dataset.data)
         pmfg = construct_pmfg(similarity)
         extras["edge_weight_sum"] = pmfg.edge_weight_sum()
         labels = np.zeros(dataset.num_objects, dtype=int)
-    elif name in ("COMP", "AVG"):
-        _, dissimilarity = similarity_and_dissimilarity(dataset.data)
-        linkage_name = "complete" if name == "COMP" else "average"
-        dendrogram = hac_dendrogram(dissimilarity, method=linkage_name)
-        labels = cut_k(dendrogram, num_clusters)
-    elif name == "K-MEANS":
-        result = kmeans(
-            dataset.data, num_clusters, init="k-means||", seed=seed, num_restarts=3
-        )
-        labels = result.labels
-    elif name == "K-MEANS-S":
-        neighbors = min(spectral_neighbors, dataset.num_objects - 1)
-        result = spectral_kmeans(
-            dataset.data, num_clusters, num_neighbors=neighbors, seed=seed
-        )
-        labels = result.labels
+    elif name in _METHOD_IDS:
+        method_id = _METHOD_IDS[name]
     else:
         raise ValueError(
             f"unknown method {method!r}; available methods: {available_methods()}"
         )
+
+    if method_id is not None:
+        config = ClusteringConfig(
+            method=method_id,
+            num_clusters=num_clusters,
+            prefix=prefix,
+            kernel=kernel,
+            backend=backend_name,
+            seed=seed,
+            spectral_neighbors=spectral_neighbors,
+        )
+        estimator = make_estimator(method_id, config, backend=backend_instance)
+        result = estimator.fit(dataset.data).result_
+        labels = result.labels
+        step_seconds = {k: v for k, v in result.step_seconds.items() if k != "total"}
+        extras.update(result.extras)
 
     seconds = time.perf_counter() - start
     ari = adjusted_rand_index(dataset.labels, labels)

@@ -6,7 +6,8 @@ a return stream in steps of ``hop``, and per tick
 1. advances the :class:`~repro.streaming.rolling.RollingCorrelation`
    accumulator by ``hop`` observations (``O(hop * n^2)`` instead of a full
    recomputation),
-2. runs :func:`~repro.core.pipeline.tmfg_dbht` on the window's similarity
+2. fits a :class:`~repro.api.estimators.TMFGClusterer` (driven by one
+   :class:`~repro.api.config.ClusteringConfig`) on the window's similarity
    matrix through the existing kernel registry and
    :class:`~repro.parallel.scheduler.ParallelBackend`, warm-starting the
    TMFG from the previous tick's decisions
@@ -27,7 +28,9 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-from repro.core.pipeline import tmfg_dbht
+from repro.api.config import ClusteringConfig
+from repro.api.estimators import TMFGClusterer
+from repro.api.result import ClusterResult
 from repro.datasets.similarity import correlation_matrix
 from repro.metrics.ami import adjusted_mutual_information
 from repro.metrics.ari import adjusted_rand_index
@@ -62,6 +65,30 @@ class TickResult:
     @property
     def seconds(self) -> float:
         return self.step_seconds["total"]
+
+    def to_cluster_result(self, config: ClusteringConfig) -> ClusterResult:
+        """This tick as a unified :class:`~repro.api.result.ClusterResult`.
+
+        Carries the labels, timings, and warm-start telemetry; the heavy
+        per-tick artefacts (graph, shortest paths) are deliberately not
+        retained across ticks, so ``raw`` is ``None``.
+        """
+        return ClusterResult(
+            method=config.method,
+            config=config,
+            labels=self.labels,
+            step_seconds=dict(self.step_seconds),
+            extras={
+                "tick": self.tick,
+                "start": self.start,
+                "stop": self.stop,
+                "warm_started": self.warm_started,
+                "warm_rounds": self.warm_rounds,
+                "rounds": self.rounds,
+                "drift_ari": self.drift_ari,
+                "drift_ami": self.drift_ami,
+            },
+        )
 
 
 @dataclass
@@ -131,11 +158,17 @@ class StreamingPipeline:
         incremental update's float rounding (~1e-12 on the correlations);
         only the wall-clock differs (see ``benchmarks/bench_streaming.py``).
     kernel / backend / apsp_method:
-        Forwarded to :func:`~repro.core.pipeline.tmfg_dbht`.
+        Forwarded to the per-tick pipeline run.
     max_ticks:
         Optional cap on the number of ticks to run.
     refresh_every:
         Forwarded to :class:`RollingCorrelation` (drift-guard cadence).
+    config:
+        Optional :class:`~repro.api.config.ClusteringConfig` supplying
+        ``num_clusters``/``prefix``/``warm_start``/``kernel``/
+        ``apsp_method`` in one serializable object (the CLI's path).  When
+        given, those individual keyword arguments are ignored; ``backend``
+        (a live pool) is still passed separately.
     """
 
     def __init__(
@@ -151,6 +184,7 @@ class StreamingPipeline:
         apsp_method: str = "dijkstra",
         max_ticks: Optional[int] = None,
         refresh_every: Optional[int] = 256,
+        config: Optional[ClusteringConfig] = None,
     ) -> None:
         returns = np.asarray(returns, dtype=float)
         if returns.ndim != 2:
@@ -166,21 +200,47 @@ class StreamingPipeline:
             )
         if hop < 1:
             raise ValueError("hop must be at least 1")
-        if num_clusters < 1:
+        if config is None:
+            config = ClusteringConfig(
+                method="tmfg-dbht",
+                num_clusters=num_clusters,
+                prefix=prefix,
+                warm_start=warm_start,
+                kernel=kernel,
+                apsp_method=apsp_method,
+            )
+        # Ticks cluster the window's correlation matrix directly.
+        self.config = config.replace(method="tmfg-dbht", precomputed=True)
+        if self.config.num_clusters is None or self.config.num_clusters < 1:
             raise ValueError("num_clusters must be at least 1")
         if max_ticks is not None and max_ticks < 1:
             raise ValueError("max_ticks must be at least 1 (or None)")
         self.returns = returns
         self.window = window
         self.hop = hop
-        self.num_clusters = num_clusters
-        self.prefix = prefix
-        self.warm = warm_start
-        self.kernel = kernel
         self.backend = backend
-        self.apsp_method = apsp_method
         self.max_ticks = max_ticks
         self.refresh_every = refresh_every
+
+    @property
+    def num_clusters(self) -> int:
+        return self.config.num_clusters
+
+    @property
+    def prefix(self) -> int:
+        return self.config.prefix
+
+    @property
+    def warm(self) -> bool:
+        return self.config.warm_start
+
+    @property
+    def kernel(self) -> Optional[str]:
+        return self.config.kernel
+
+    @property
+    def apsp_method(self) -> str:
+        return self.config.apsp_method
 
     @property
     def num_ticks(self) -> int:
@@ -202,61 +262,70 @@ class StreamingPipeline:
         )
         starter = TMFGWarmStarter(enabled=self.warm)
         self._warm_stats = starter.stats
+        # One backend for the whole stream: an injected pool is reused as-is;
+        # a config-named pool is opened here once and closed when the
+        # generator finishes (estimators never open per-tick pools).
+        backend = self.backend
+        owns_backend = False
+        if backend is None:
+            backend = self.config.open_backend()
+            owns_backend = backend is not None
+        estimator = TMFGClusterer(self.config, backend=backend)
         previous_labels: Optional[np.ndarray] = None
         tick_index = 0
         consumed = 0
-        while consumed < num_steps:
-            if tick_index == 0:
-                take = self.window
-            else:
-                take = self.hop
-                if consumed + take > num_steps:
+        try:
+            while consumed < num_steps:
+                if tick_index == 0:
+                    take = self.window
+                else:
+                    take = self.hop
+                    if consumed + take > num_steps:
+                        break
+                if self.max_ticks is not None and tick_index >= self.max_ticks:
                     break
-            if self.max_ticks is not None and tick_index >= self.max_ticks:
-                break
-            tick_start = time.perf_counter()
-            rolling.push(self.returns[:, consumed : consumed + take])
-            consumed += take
-            if self.warm:
-                similarity = rolling.correlation()
-            else:
-                similarity = correlation_matrix(rolling.window_data())
-            similarity_seconds = time.perf_counter() - tick_start
+                tick_start = time.perf_counter()
+                rolling.push(self.returns[:, consumed : consumed + take])
+                consumed += take
+                if self.warm:
+                    similarity = rolling.correlation()
+                else:
+                    similarity = correlation_matrix(rolling.window_data())
+                similarity_seconds = time.perf_counter() - tick_start
 
-            result = tmfg_dbht(
-                similarity,
-                prefix=self.prefix,
-                kernel=self.kernel,
-                backend=self.backend,
-                apsp_method=self.apsp_method,
-                warm_start=starter.hints(),
-            )
-            starter.update(result.tmfg)
-            labels = result.cut(self.num_clusters)
-            total_seconds = time.perf_counter() - tick_start
+                result = estimator.fit(similarity, warm_start=starter.hints()).result_
+                pipeline = result.raw
+                starter.update(pipeline.tmfg)
+                labels = result.labels
+                total_seconds = time.perf_counter() - tick_start
 
-            step_seconds = {"similarity": similarity_seconds}
-            step_seconds.update(result.step_seconds)
-            step_seconds["total"] = total_seconds
-            drift_ari = drift_ami = None
-            if previous_labels is not None:
-                drift_ari = adjusted_rand_index(previous_labels, labels)
-                drift_ami = adjusted_mutual_information(previous_labels, labels)
-            yield TickResult(
-                tick=tick_index,
-                start=consumed - self.window,
-                stop=consumed,
-                labels=labels,
-                num_clusters=int(len(np.unique(labels))),
-                warm_started=result.tmfg.warm_started,
-                warm_rounds=result.tmfg.warm_rounds,
-                rounds=result.tmfg.rounds,
-                step_seconds=step_seconds,
-                drift_ari=drift_ari,
-                drift_ami=drift_ami,
-            )
-            previous_labels = labels
-            tick_index += 1
+                step_seconds = {"similarity": similarity_seconds}
+                step_seconds.update(
+                    {k: v for k, v in result.step_seconds.items() if k != "total"}
+                )
+                step_seconds["total"] = total_seconds
+                drift_ari = drift_ami = None
+                if previous_labels is not None:
+                    drift_ari = adjusted_rand_index(previous_labels, labels)
+                    drift_ami = adjusted_mutual_information(previous_labels, labels)
+                yield TickResult(
+                    tick=tick_index,
+                    start=consumed - self.window,
+                    stop=consumed,
+                    labels=labels,
+                    num_clusters=int(len(np.unique(labels))),
+                    warm_started=pipeline.tmfg.warm_started,
+                    warm_rounds=pipeline.tmfg.warm_rounds,
+                    rounds=pipeline.tmfg.rounds,
+                    step_seconds=step_seconds,
+                    drift_ari=drift_ari,
+                    drift_ami=drift_ami,
+                )
+                previous_labels = labels
+                tick_index += 1
+        finally:
+            if owns_backend:
+                backend.close()
 
     def run(self) -> StreamingResult:
         """Run every tick and return the collected :class:`StreamingResult`."""

@@ -121,6 +121,182 @@ class TestKernelAndBackendFlags:
         assert "--workers" in capsys.readouterr().err
 
 
+class TestConfigFile:
+    def test_save_and_reload_round_trip(self, data_csv, tmp_path, capsys):
+        from repro.api import ClusteringConfig
+
+        path, _ = data_csv
+        cfg_path = tmp_path / "cfg.json"
+        out_a = tmp_path / "labels_a.txt"
+        out_b = tmp_path / "labels_b.txt"
+        # First run resolves the flags into a config and saves it ...
+        assert (
+            main(
+                [
+                    "cluster",
+                    str(path),
+                    "--clusters",
+                    "3",
+                    "--prefix",
+                    "2",
+                    "--save-config",
+                    str(cfg_path),
+                    "--out",
+                    str(out_a),
+                ]
+            )
+            == 0
+        )
+        saved = ClusteringConfig.from_json(cfg_path.read_text())
+        assert saved.num_clusters == 3 and saved.prefix == 2
+        # ... and the second run reproduces it from the config alone.
+        assert main(["cluster", str(path), "--config", str(cfg_path), "--out", str(out_b)]) == 0
+        np.testing.assert_array_equal(
+            np.loadtxt(out_a, dtype=int), np.loadtxt(out_b, dtype=int)
+        )
+
+    def test_flags_override_config_file(self, data_csv, tmp_path, capsys):
+        from repro.api import ClusteringConfig
+
+        path, _ = data_csv
+        cfg_path = tmp_path / "cfg.json"
+        cfg_path.write_text(ClusteringConfig(num_clusters=3, prefix=2).to_json())
+        assert (
+            main(["cluster", str(path), "--config", str(cfg_path), "--clusters", "2"]) == 0
+        )
+        assert "clusters: 2" in capsys.readouterr().out
+
+    def test_missing_clusters_everywhere_rejected(self, data_csv, capsys):
+        path, _ = data_csv
+        assert main(["cluster", str(path)]) == 2
+        assert "--clusters" in capsys.readouterr().err
+
+    def test_partial_config_keeps_subcommand_defaults(self, data_csv, tmp_path, capsys):
+        path, _ = data_csv
+        cfg_path = tmp_path / "partial.json"
+        cfg_path.write_text('{"num_clusters": 3}')
+        saved = tmp_path / "resolved.json"
+        assert (
+            main(
+                [
+                    "cluster",
+                    str(path),
+                    "--config",
+                    str(cfg_path),
+                    "--save-config",
+                    str(saved),
+                ]
+            )
+            == 0
+        )
+        resolved = json.loads(saved.read_text())
+        # cluster's default prefix (10) survives a partial config file
+        assert resolved["prefix"] == 10 and resolved["num_clusters"] == 3
+
+    def test_save_config_not_written_on_failed_run(self, data_csv, tmp_path):
+        path, _ = data_csv
+        saved = tmp_path / "cfg.json"
+        exit_code = main(
+            [
+                "cluster",
+                str(path),
+                "--clusters",
+                "3",
+                "--method",
+                "kmeans",
+                "--newick",
+                str(tmp_path / "t.nwk"),
+                "--save-config",
+                str(saved),
+            ]
+        )
+        assert exit_code == 2
+        assert not saved.exists()
+
+    def test_invalid_config_file_rejected(self, data_csv, tmp_path, capsys):
+        path, _ = data_csv
+        cfg_path = tmp_path / "bad.json"
+        cfg_path.write_text('{"warp_drive": true}')
+        assert main(["cluster", str(path), "--config", str(cfg_path)]) == 2
+        err = capsys.readouterr().err
+        assert "warp_drive" in err
+        # config-file errors keep the JSON field names, not CLI flag spellings
+        assert "num_clusters" in err and "--clusters" not in err
+
+    def test_config_field_error_keeps_json_spelling(self, data_csv, tmp_path, capsys):
+        path, _ = data_csv
+        cfg_path = tmp_path / "bad.json"
+        cfg_path.write_text('{"num_clusters": 3, "apsp_method": "bellman-ford"}')
+        assert main(["cluster", str(path), "--config", str(cfg_path)]) == 2
+        err = capsys.readouterr().err
+        assert "apsp_method" in err and "--apsp" not in err
+
+    def test_stream_warm_flag_overrides_cold_config(self, tmp_path, capsys):
+        from repro.api import ClusteringConfig
+        from repro.datasets.stocks import generate_regime_switching_stream
+
+        stream = generate_regime_switching_stream(num_stocks=48, num_days=120, seed=4)
+        data_path = tmp_path / "returns.csv"
+        np.savetxt(data_path, stream.returns, delimiter=",")
+        cfg_path = tmp_path / "cfg.json"
+        cfg_path.write_text(ClusteringConfig(num_clusters=3, warm_start=False).to_json())
+        args = ["stream", str(data_path), "--config", str(cfg_path), "--window", "80", "--hop", "20"]
+        assert main(args + ["--warm"]) == 0
+        assert "(warm, window=80" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "(cold, window=80" in capsys.readouterr().out
+        assert main(args + ["--warm", "--cold"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestMethodFlag:
+    def test_hac_method(self, data_csv, capsys):
+        path, _ = data_csv
+        assert main(["cluster", str(path), "--clusters", "3", "--method", "hac-average"]) == 0
+        assert "clusters: 3" in capsys.readouterr().out
+
+    def test_kmeans_method_rejects_newick(self, data_csv, tmp_path, capsys):
+        path, _ = data_csv
+        newick = tmp_path / "tree.nwk"
+        out = tmp_path / "labels.txt"
+        exit_code = main(
+            [
+                "cluster",
+                str(path),
+                "--clusters",
+                "3",
+                "--method",
+                "kmeans",
+                "--newick",
+                str(newick),
+                "--out",
+                str(out),
+            ]
+        )
+        assert exit_code == 2
+        assert "dendrogram" in capsys.readouterr().err
+        # the failing run must not leave partial output behind
+        assert not out.exists() and not newick.exists()
+
+    def test_list_methods(self, capsys):
+        from repro.api import available_estimators
+
+        assert main(["list-methods"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(available_estimators())
+
+    def test_result_json_export(self, data_csv, tmp_path):
+        path, _ = data_csv
+        report = tmp_path / "result.json"
+        assert (
+            main(["cluster", str(path), "--clusters", "3", "--json", str(report)]) == 0
+        )
+        payload = json.loads(report.read_text())
+        assert payload["method"] == "tmfg-dbht"
+        assert payload["num_clusters"] == 3
+        assert len(payload["labels"]) == 30
+
+
 @pytest.fixture
 def returns_csv(tmp_path):
     stream = generate_regime_switching_stream(num_stocks=48, num_days=150, seed=9)
@@ -209,12 +385,14 @@ class TestStreamCommand:
         assert main(args) == 2
         assert "--workers" in capsys.readouterr().err
 
-    def test_stream_requires_window_and_clusters(self, returns_csv):
+    def test_stream_requires_window_and_clusters(self, returns_csv, capsys):
         path, _ = returns_csv
         with pytest.raises(SystemExit):
             main(["stream", str(path), "--clusters", "3"])
-        with pytest.raises(SystemExit):
-            main(["stream", str(path), "--window", "80"])
+        # --clusters may come from --config instead, so a missing flag is a
+        # clean exit with a message rather than an argparse crash.
+        assert main(["stream", str(path), "--window", "80"]) == 2
+        assert "--clusters" in capsys.readouterr().err
 
 
 class TestFigureCommand:
