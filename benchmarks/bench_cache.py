@@ -1,0 +1,117 @@
+"""Result-cache serving benchmark: cold vs dedup vs warm ``cluster_many``.
+
+Models the repetitive serving workload the cache exists for: one batch of
+``--jobs`` byte-identical ``--assets``-asset similarity matrices (the same
+window re-requested over and over), clustered three ways:
+
+* **cold** — cache off, dedup off: every job is a full
+  similarity→TMFG→APSP→DBHT fit (the pre-cache serving path);
+* **dedup** — cache off, dedup on: ``cluster_many`` fingerprints the jobs
+  before dispatch and fits each distinct job once;
+* **warm** — cache on, second call: every job is a cache hit.
+
+The acceptance bound (default ≥10x at 50 x 200 assets) is asserted on the
+warm path, and every warm payload must be byte-identical to the priming
+call's.  Prints one JSON document (and writes it with ``--json``)::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py
+    PYTHONPATH=src python benchmarks/bench_cache.py --assets 60 --jobs 8 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.api import ClusteringConfig, cluster_many
+from repro.cache import clear_result_caches, get_result_cache
+from repro.datasets.similarity import similarity_and_dissimilarity
+from repro.datasets.synthetic import make_time_series_dataset
+
+DEFAULT_ASSETS = 200
+DEFAULT_JOBS = 50
+DEFAULT_MIN_SPEEDUP = 10.0
+NUM_CLUSTERS = 4
+PREFIX = 10
+
+
+def _similarity(num_assets: int, seed: int = 42) -> np.ndarray:
+    dataset = make_time_series_dataset(
+        num_objects=num_assets, length=128, num_classes=NUM_CLUSTERS, noise=1.1, seed=seed
+    )
+    similarity, _ = similarity_and_dissimilarity(dataset.data)
+    return similarity
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--assets", type=int, default=DEFAULT_ASSETS)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+                        help="required cold/warm ratio (acceptance bound)")
+    parser.add_argument("--json", default=None, help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    matrices = [_similarity(args.assets)] * args.jobs
+    plain = ClusteringConfig(precomputed=True, num_clusters=NUM_CLUSTERS, prefix=PREFIX)
+    cached = plain.replace(cache=True)
+
+    # Warm-up (imports, kernel registry) outside every timed region.
+    clear_result_caches()
+    cluster_many(matrices[:1], plain)
+
+    start = time.perf_counter()
+    cold_results = cluster_many(matrices, plain, dedupe=False)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cluster_many(matrices, plain)
+    dedup_seconds = time.perf_counter() - start
+
+    clear_result_caches()
+    priming_results = cluster_many(matrices, cached)
+    start = time.perf_counter()
+    warm_results = cluster_many(matrices, cached)
+    warm_seconds = time.perf_counter() - start
+    stats = get_result_cache().stats
+
+    byte_identical = all(
+        warm.to_json() == primed.to_json()
+        for warm, primed in zip(warm_results, priming_results)
+    )
+    labels_match = all(
+        np.array_equal(warm.labels, cold.labels)
+        for warm, cold in zip(warm_results, cold_results)
+    )
+    report = {
+        "benchmark": "result_cache",
+        "num_assets": args.assets,
+        "jobs": args.jobs,
+        "cold_seconds": round(cold_seconds, 6),
+        "dedup_seconds": round(dedup_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup_dedup": round(cold_seconds / dedup_seconds, 2),
+        "speedup_warm": round(cold_seconds / warm_seconds, 2),
+        "min_speedup": args.min_speedup,
+        "byte_identical_payloads": byte_identical,
+        "labels_match_cold": labels_match,
+        "cache_stats": stats.as_dict(),
+    }
+    print(json.dumps(report, indent=2))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    assert byte_identical, "warm payloads diverged from the priming call"
+    assert labels_match, "warm labels diverged from the cold run"
+    assert report["speedup_warm"] >= args.min_speedup, (
+        f"warm serving is only {report['speedup_warm']}x over cold "
+        f"(required {args.min_speedup}x)"
+    )
+    return report
+
+
+if __name__ == "__main__":
+    main()

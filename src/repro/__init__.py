@@ -33,13 +33,14 @@ from repro.api import (
     cluster_many,
     make_estimator,
 )
+from repro.cache import ResultCache, clear_result_caches, get_result_cache
 from repro.core.dbht import DBHTResult, dbht
 from repro.core.pipeline import PipelineResult, tmfg_dbht
 from repro.core.tmfg import TMFGResult, construct_tmfg
 from repro.dendrogram import Dendrogram, cut_height, cut_k
 from repro.metrics import adjusted_mutual_information, adjusted_rand_index
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ClusteringConfig",
@@ -48,6 +49,9 @@ __all__ = [
     "available_estimators",
     "make_estimator",
     "cluster_many",
+    "ResultCache",
+    "get_result_cache",
+    "clear_result_caches",
     "DBHTResult",
     "dbht",
     "PipelineResult",

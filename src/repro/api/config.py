@@ -77,6 +77,19 @@ class ClusteringConfig:
     precomputed:
         Treat the fitted matrix as a precomputed similarity matrix instead
         of raw series (one object per row).
+    cache:
+        Consult the content-addressed result cache (:mod:`repro.cache`)
+        before fitting, keyed by this config's computation-relevant fields
+        plus the input matrix's dtype/shape/bytes.  Hits return the stored
+        cold fit verbatim (labels, timings, artefacts), so enabling the
+        cache never changes results.  ``cluster_many`` additionally uses
+        the same fingerprints to deduplicate identical jobs, and the
+        streaming runner to skip ticks whose windowed correlation is
+        unchanged.
+    cache_dir:
+        Optional directory for the persistent cache tier (entries survive
+        the process; corrupt or stale files degrade to misses).  Requires
+        ``cache=True``.
     linkage:
         Linkage rule for the HAC estimator.
     seed / num_restarts:
@@ -95,6 +108,8 @@ class ClusteringConfig:
     workers: Optional[int] = None
     warm_start: bool = False
     precomputed: bool = False
+    cache: bool = False
+    cache_dir: Optional[str] = None
     linkage: str = "complete"
     seed: int = 0
     num_restarts: int = 3
@@ -122,6 +137,10 @@ class ClusteringConfig:
                 raise ValueError("workers has no effect without backend 'thread' or 'process'")
             if self.workers < 1:
                 raise ValueError("workers must be at least 1")
+        if self.cache_dir is not None and not self.cache:
+            raise ValueError(
+                "cache_dir is set but caching is disabled; enable cache or drop cache_dir"
+            )
         if self.linkage not in LINKAGE_NAMES:
             raise ValueError(
                 f"unknown linkage {self.linkage!r}; expected one of {LINKAGE_NAMES}"

@@ -105,10 +105,33 @@ class ClusteringEstimator:
         matrix (as the functional ``tmfg_dbht(sim, dis, ...)`` signature
         allowed) instead of the default derivation; only the
         similarity-based methods accept it.
+
+        With ``config.cache``, the content-addressed result cache is
+        consulted first (keyed on the config's computation-relevant fields
+        plus the input bytes); a hit stores a clone of the cached cold fit
+        on ``result_`` and skips the computation entirely.  Fits carrying
+        warm-start hints bypass the cache: their outputs are identical by
+        construction, but their replay telemetry is tick-specific and must
+        not be served for unrelated inputs.
         """
         # Drop the previous fit up front so a failed refit can never serve
         # stale labels.
         self.result_ = None
+        cache = cache_key = None
+        if self.config.cache and fit_params.get("warm_start") is None:
+            from repro.cache import get_result_cache, result_cache_key
+
+            # Key on the same float view the pipeline will cluster, so
+            # int/float spellings of identical data share an entry.
+            X = np.asarray(X, dtype=float)
+            if dissimilarity is not None:
+                dissimilarity = np.asarray(dissimilarity, dtype=float)
+            cache = get_result_cache(self.config.cache_dir)
+            cache_key = result_cache_key(self.config, X, dissimilarity)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                self.result_ = cached.clone()
+                return self
         start = time.perf_counter()
         data, similarity, derived_dissimilarity = self._prepare(X)
         if dissimilarity is not None:
@@ -126,6 +149,10 @@ class ClusteringEstimator:
             if owns_backend:
                 backend.close()
         result.step_seconds.setdefault("total", time.perf_counter() - start)
+        if cache is not None:
+            # Store a private clone so later caller mutations of the
+            # returned result can never alter what the cache serves.
+            cache.put(cache_key, result.clone())
         self.result_ = result
         return self
 

@@ -29,6 +29,10 @@ def _json_safe(value: Any) -> Any:
     """Best-effort conversion of an extras value to JSON-safe types."""
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
+    # numpy scalars are not Python-number instances: np.bool_ is not a bool
+    # subclass, np.int64/np.float32 are not int/float subclasses.
+    if isinstance(value, np.bool_):
+        return bool(value)
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
@@ -104,6 +108,23 @@ class ClusterResult:
         from repro.dendrogram.cut import cut_k
 
         return cut_k(dendrogram, num_clusters)
+
+    def clone(self) -> "ClusterResult":
+        """A copy safe to hand to an independent caller.
+
+        The labels array and the mutable dicts are copied so no caller can
+        corrupt another's (or the cache's) view; ``raw`` — the heavyweight
+        read-only artefacts — and the frozen config are shared.  Clones
+        serialize byte-identically to their source.
+        """
+        return ClusterResult(
+            method=self.method,
+            config=self.config,
+            labels=None if self.labels is None else self.labels.copy(),
+            step_seconds=dict(self.step_seconds),
+            raw=self.raw,
+            extras=dict(self.extras),
+        )
 
     # -- serialization -----------------------------------------------------
 

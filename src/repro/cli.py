@@ -88,6 +88,7 @@ def _load_matrix(path: str) -> np.ndarray:
 # file keep the JSON field names the file actually uses.
 _FLAG_SPELLINGS = (
     ("num_clusters", "--clusters"),
+    ("cache_dir", "--cache-dir"),
     ("workers", "--workers"),
     ("backend", "--backend"),
     ("kernel", "--kernel"),
@@ -143,6 +144,11 @@ def _config_from_args(args: argparse.Namespace, default: ClusteringConfig) -> Cl
         changes["workers"] = args.workers
     if getattr(args, "precomputed", False):
         changes["precomputed"] = True
+    if getattr(args, "no_cache", False):
+        changes["cache"] = False
+        changes["cache_dir"] = None
+    if getattr(args, "cache_dir", None) is not None:
+        changes["cache_dir"] = args.cache_dir
     if getattr(args, "cold", False) and getattr(args, "warm", False):
         raise ValueError("--cold and --warm are mutually exclusive")
     if getattr(args, "cold", False):
@@ -161,7 +167,7 @@ def _print_cli_error(error: Exception) -> None:
 
 def _command_cluster(args: argparse.Namespace) -> int:
     try:
-        config = _config_from_args(args, ClusteringConfig(prefix=10))
+        config = _config_from_args(args, ClusteringConfig(prefix=10, cache=True))
     except (ValueError, OSError) as error:
         _print_cli_error(error)
         return 2
@@ -211,7 +217,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
 
 def _command_stream(args: argparse.Namespace) -> int:
     try:
-        config = _config_from_args(args, ClusteringConfig(warm_start=True))
+        config = _config_from_args(args, ClusteringConfig(warm_start=True, cache=True))
     except (ValueError, OSError) as error:
         _print_cli_error(error)
         return 2
@@ -240,6 +246,8 @@ def _command_stream(args: argparse.Namespace) -> int:
     )
     stats = result.warm_stats
     summary = f"ticks: {result.num_ticks}  mean tick: {result.mean_tick_seconds():.4f}s"
+    if result.reused_ticks:
+        summary += f"  reused (unchanged window): {result.reused_ticks}"
     if config.warm_start:
         summary += (
             f"  warm replay: {stats.round_replay_rate:.1%} of rounds "
@@ -271,6 +279,7 @@ def _command_stream(args: argparse.Namespace) -> int:
                     "step_seconds": tick.step_seconds,
                     "drift_ari": tick.drift_ari,
                     "drift_ami": tick.drift_ami,
+                    "reused": tick.reused,
                 }
                 for tick in result.ticks
             ],
@@ -334,6 +343,17 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--config",
         default=None,
         help="load a serialized ClusteringConfig JSON (explicit flags override it)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist the content-addressed result cache under this directory "
+        "(hits across runs; corrupt/stale entries degrade to misses)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (identical results; always recomputes)",
     )
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -34,11 +34,11 @@ class ParallelBackend:
 
     num_workers: int = 1
 
-    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(self, func: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """Apply ``func`` to every item and return the results in order."""
         raise NotImplementedError
 
-    def for_each(self, func: Callable[[T], None], items: Sequence[T]) -> None:
+    def for_each(self, func: Callable[[T], None], items: Iterable[T]) -> None:
         """Apply ``func`` to every item for its side effects."""
         self.map(func, items)
 
@@ -51,7 +51,7 @@ class SerialBackend(ParallelBackend):
 
     num_workers = 1
 
-    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(self, func: Callable[[T], R], items: Iterable[T]) -> List[R]:
         return [func(item) for item in items]
 
 
@@ -68,7 +68,12 @@ class _ExecutorBackend(ParallelBackend):
         self.num_workers = num_workers
         self._pool = self._executor_cls(max_workers=num_workers)
 
-    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(self, func: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        # Generators and other unsized iterables are materialized first:
+        # the short-path below needs len(), and a half-consumed generator
+        # must not be handed to the pool.
+        if not hasattr(items, "__len__"):
+            items = list(items)
         if len(items) <= 1:
             return [func(item) for item in items]
         return list(self._pool.map(func, items))

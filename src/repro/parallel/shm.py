@@ -1,0 +1,193 @@
+"""Zero-copy matrix shipment to process workers via shared memory.
+
+The process fan-out of :func:`repro.api.batch.cluster_many` used to pickle
+a full copy of every input matrix into every job.  This module instead
+places each matrix in a :class:`multiprocessing.shared_memory.SharedMemory`
+segment once and ships only a tiny picklable :class:`SharedMatrixRef`
+(name, shape, dtype); workers map the segment and read the matrix in place
+without copying.
+
+Ownership protocol
+------------------
+
+* The parent opens a :class:`SharedMatrixArena` (a context manager) for
+  one dispatch, :meth:`~SharedMatrixArena.share`\\ s the matrices, and on
+  exit closes *and unlinks* every segment — after the batch returns, no
+  shared memory outlives the call.
+* Workers attach with :func:`open_matrix`.  A worker's attachment is NOT
+  closed when its task finishes: the executor pickles the task's return
+  value *after* the task function returns, and the result may in principle
+  still reference the mapped buffer.  Instead, attachments are retired and
+  closed at the start of the worker's *next* task (and by the OS at worker
+  exit).  Unlinking while workers are still attached is safe on POSIX —
+  the segment is freed when the last mapping closes.
+* Worker-side attachments must not be owned by a resource tracker the
+  parent does not control: on Python 3.13+ workers attach with
+  ``track=False``; on older versions attaching registers the segment with
+  the worker's resource tracker, and the worker unregisters it again — but
+  *only* when that tracker is the worker's own (spawn/forkserver).  Forked
+  workers share the parent's tracker process, where the segment is
+  (correctly) registered by the parent's create; unregistering there would
+  steal the parent's registration.  Each :class:`SharedMatrixRef` carries
+  the parent's tracker pid so workers can tell the two cases apart.
+
+Availability is probed, not assumed: on platforms or sandboxes without a
+usable ``/dev/shm`` the caller falls back to pickled dispatch (see
+:func:`shared_memory_available`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_TRACK_PARAM_SUPPORTED = None  # resolved on first attach
+
+
+@dataclass(frozen=True)
+class SharedMatrixRef:
+    """Picklable handle to a matrix living in a shared-memory segment.
+
+    ``tracker_pid`` is the pid of the creating process's resource-tracker
+    daemon (``None`` if undeterminable); workers use it to decide whether
+    their own tracker is the parent's (fork) or a private one (spawn).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    tracker_pid: Optional[int] = None
+
+
+def _tracker_pid() -> Optional[int]:
+    """Pid of this process's resource-tracker daemon, if one is running."""
+    try:
+        from multiprocessing import resource_tracker
+
+        return resource_tracker._resource_tracker._pid  # type: ignore[attr-defined]
+    except Exception:
+        return None
+
+
+class SharedMatrixArena:
+    """Parent-side owner of the shared segments for one batch dispatch.
+
+    Use as a context manager around the ``backend.map`` call; exiting
+    closes and unlinks every segment created by :meth:`share`.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+
+    def share(self, matrix: np.ndarray) -> SharedMatrixRef:
+        """Copy ``matrix`` into a fresh segment and return its handle."""
+        array = np.ascontiguousarray(matrix)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        self._segments.append(segment)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return SharedMatrixRef(
+            segment.name, tuple(array.shape), array.dtype.str, _tracker_pid()
+        )
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:
+                pass
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+    def __enter__(self) -> "SharedMatrixArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Segments whose task has finished; their results were pickled by the
+#: executor before the next task started, so they are safe to close then.
+_RETIRED: List[shared_memory.SharedMemory] = []
+
+
+def _attach(ref: SharedMatrixRef) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking tracker ownership.
+
+    On 3.13+ ``track=False`` skips registration entirely.  Before that,
+    attaching registers the segment with this process's resource tracker;
+    when that tracker is private to this process (spawn/forkserver
+    workers), it would unlink the parent-owned segment at worker exit, so
+    the registration is undone.  A forked worker shares the *parent's*
+    tracker — there the registration is the parent's own (sets dedupe the
+    double add) and must be left alone.
+    """
+    global _TRACK_PARAM_SUPPORTED
+    if _TRACK_PARAM_SUPPORTED is not False:
+        try:
+            segment = shared_memory.SharedMemory(name=ref.name, track=False)
+            _TRACK_PARAM_SUPPORTED = True
+            return segment
+        except TypeError:
+            _TRACK_PARAM_SUPPORTED = False
+    segment = shared_memory.SharedMemory(name=ref.name)
+    own_tracker = _tracker_pid()
+    if own_tracker is not None and own_tracker != ref.tracker_pid:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    return segment
+
+
+def open_matrix(ref: SharedMatrixRef) -> np.ndarray:
+    """Map ``ref``'s segment and return the matrix as a zero-copy view.
+
+    Called at task start in a worker (or inline in the parent for
+    single-item dispatches).  Also closes segments retired by this
+    process's previous tasks — see the module docstring's ownership
+    protocol.  The returned array is read-only: the segment is shared by
+    every worker attached to it.
+    """
+    while _RETIRED:
+        try:
+            _RETIRED.pop().close()
+        except OSError:
+            pass
+    segment = _attach(ref)
+    _RETIRED.append(segment)
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    view.flags.writeable = False
+    return view
+
+
+def shared_memory_available() -> bool:
+    """Whether shared-memory segments can actually be created here.
+
+    Sandboxes and minimal containers sometimes lack a writable shared
+    memory mount; probing once lets callers fall back to pickled dispatch
+    instead of failing mid-batch.
+    """
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=16)
+    except Exception:
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except Exception:
+        pass
+    return True

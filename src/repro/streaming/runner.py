@@ -31,6 +31,7 @@ import numpy as np
 from repro.api.config import ClusteringConfig
 from repro.api.estimators import TMFGClusterer
 from repro.api.result import ClusterResult
+from repro.cache import matrix_fingerprint
 from repro.datasets.similarity import correlation_matrix
 from repro.metrics.ami import adjusted_mutual_information
 from repro.metrics.ari import adjusted_rand_index
@@ -48,6 +49,14 @@ class TickResult:
     ``"tmfg"``/``"apsp"``/``"bubble-tree"``/``"hierarchy"`` phases and the
     ``"total"``.  ``drift_ari``/``drift_ami`` compare this tick's flat cut
     with the previous tick's (``None`` on the first tick).
+
+    ``reused`` marks a short-circuited tick: the window's raw bytes
+    matched the previous tick's exactly (a flat market / repeated
+    window), so the previous clustering was reused without a fit — an
+    exact reuse in cold mode, and within the warm path's documented
+    rounding tolerance in warm mode.
+    Reused ticks carry the originating fit's ``warm_started``/
+    ``warm_rounds``/``rounds`` telemetry and their own wall-clock.
     """
 
     tick: int
@@ -61,6 +70,7 @@ class TickResult:
     step_seconds: Dict[str, float]
     drift_ari: Optional[float] = None
     drift_ami: Optional[float] = None
+    reused: bool = False
 
     @property
     def seconds(self) -> float:
@@ -87,6 +97,7 @@ class TickResult:
                 "rounds": self.rounds,
                 "drift_ari": self.drift_ari,
                 "drift_ami": self.drift_ami,
+                "reused": self.reused,
             },
         )
 
@@ -107,17 +118,30 @@ class StreamingResult:
         return len(self.ticks)
 
     @property
+    def reused_ticks(self) -> int:
+        """Ticks short-circuited because the window's bytes were unchanged."""
+        return sum(1 for tick in self.ticks if tick.reused)
+
+    @property
     def labels(self) -> Optional[np.ndarray]:
         """The final tick's flat labels (``None`` when no tick ran)."""
         return self.ticks[-1].labels if self.ticks else None
 
     def mean_step_seconds(self) -> Dict[str, float]:
-        """Per-phase wall-clock means over all ticks."""
+        """Per-phase wall-clock means over all ticks.
+
+        Reused (short-circuited) ticks have no fit phases; they contribute
+        0 to those phases' means, which keeps the means honest about the
+        actual per-tick cost of the stream.
+        """
         if not self.ticks:
             return {}
-        keys = self.ticks[0].step_seconds.keys()
+        keys: Dict[str, None] = {}
+        for tick in self.ticks:
+            for key in tick.step_seconds:
+                keys.setdefault(key)
         return {
-            key: float(np.mean([tick.step_seconds[key] for tick in self.ticks]))
+            key: float(np.mean([tick.step_seconds.get(key, 0.0) for tick in self.ticks]))
             for key in keys
         }
 
@@ -272,6 +296,20 @@ class StreamingPipeline:
             owns_backend = backend is not None
         estimator = TMFGClusterer(self.config, backend=backend)
         previous_labels: Optional[np.ndarray] = None
+        # Tick short-circuit (behind config.cache): when the window's raw
+        # bytes did not change since the previous tick — a flat market, a
+        # repeated window — the previous clustering is reused without a
+        # fit.  The fingerprint is taken over the window *data*, not the
+        # derived correlation: in warm mode the incremental correlation is
+        # path-dependent (evicting and re-adding identical columns drifts
+        # the running sums ~1e-12), so byte-equality of the correlation
+        # essentially never holds even for identical windows.  Cold-mode
+        # reuse is exact (the correlation is a pure function of the
+        # window); warm-mode reuse agrees within the warm path's own
+        # documented rounding tolerance versus a recompute.
+        short_circuit = self.config.cache
+        previous_fingerprint: Optional[str] = None
+        previous_tick: Optional[TickResult] = None
         tick_index = 0
         consumed = 0
         try:
@@ -287,41 +325,62 @@ class StreamingPipeline:
                 tick_start = time.perf_counter()
                 rolling.push(self.returns[:, consumed : consumed + take])
                 consumed += take
-                if self.warm:
+                fingerprint = (
+                    matrix_fingerprint(rolling.window_data()) if short_circuit else None
+                )
+                reused = (
+                    short_circuit
+                    and previous_tick is not None
+                    and fingerprint == previous_fingerprint
+                )
+                if reused:
+                    similarity = None  # skipped along with the fit
+                elif self.warm:
                     similarity = rolling.correlation()
                 else:
                     similarity = correlation_matrix(rolling.window_data())
                 similarity_seconds = time.perf_counter() - tick_start
-
-                result = estimator.fit(similarity, warm_start=starter.hints()).result_
-                pipeline = result.raw
-                starter.update(pipeline.tmfg)
-                labels = result.labels
-                total_seconds = time.perf_counter() - tick_start
-
-                step_seconds = {"similarity": similarity_seconds}
-                step_seconds.update(
-                    {k: v for k, v in result.step_seconds.items() if k != "total"}
-                )
-                step_seconds["total"] = total_seconds
+                if reused:
+                    labels = previous_tick.labels.copy()
+                    warm_started = previous_tick.warm_started
+                    warm_rounds = previous_tick.warm_rounds
+                    rounds = previous_tick.rounds
+                    step_seconds = {"similarity": similarity_seconds}
+                else:
+                    result = estimator.fit(similarity, warm_start=starter.hints()).result_
+                    pipeline = result.raw
+                    starter.update(pipeline.tmfg)
+                    labels = result.labels
+                    warm_started = pipeline.tmfg.warm_started
+                    warm_rounds = pipeline.tmfg.warm_rounds
+                    rounds = pipeline.tmfg.rounds
+                    step_seconds = {"similarity": similarity_seconds}
+                    step_seconds.update(
+                        {k: v for k, v in result.step_seconds.items() if k != "total"}
+                    )
+                step_seconds["total"] = time.perf_counter() - tick_start
                 drift_ari = drift_ami = None
                 if previous_labels is not None:
                     drift_ari = adjusted_rand_index(previous_labels, labels)
                     drift_ami = adjusted_mutual_information(previous_labels, labels)
-                yield TickResult(
+                tick = TickResult(
                     tick=tick_index,
                     start=consumed - self.window,
                     stop=consumed,
                     labels=labels,
                     num_clusters=int(len(np.unique(labels))),
-                    warm_started=pipeline.tmfg.warm_started,
-                    warm_rounds=pipeline.tmfg.warm_rounds,
-                    rounds=pipeline.tmfg.rounds,
+                    warm_started=warm_started,
+                    warm_rounds=warm_rounds,
+                    rounds=rounds,
                     step_seconds=step_seconds,
                     drift_ari=drift_ari,
                     drift_ami=drift_ami,
+                    reused=reused,
                 )
+                yield tick
                 previous_labels = labels
+                previous_fingerprint = fingerprint
+                previous_tick = tick
                 tick_index += 1
         finally:
             if owns_backend:

@@ -321,6 +321,42 @@ class TestClusterResult:
         # the non-serializable tracker is filtered out of the payload
         assert "tracker" not in payload["extras"]
 
+    def test_numpy_scalar_extras_serialize(self, small_dataset):
+        # Regression: numpy scalars are not Python-number instances, so
+        # np.int64 / np.bool_ / np.float32 extras must get explicit
+        # branches in _json_safe or to_json breaks on them.
+        estimator = make_estimator("tmfg-dbht", num_clusters=3, prefix=2)
+        result = estimator.fit(small_dataset.data).result_
+        result.extras.update(
+            {
+                "np_int": np.int64(7),
+                "np_bool": np.bool_(True),
+                "np_float": np.float32(0.5),
+            }
+        )
+        payload = json.loads(result.to_json())
+        assert payload["extras"]["np_int"] == 7
+        assert payload["extras"]["np_bool"] is True
+        assert payload["extras"]["np_float"] == 0.5
+        # ... including nested inside containers.
+        result.extras["nested"] = {"flags": [np.bool_(False), np.int32(2)]}
+        payload = json.loads(result.to_json())
+        assert payload["extras"]["nested"] == {"flags": [False, 2]}
+
+    def test_clone_is_independent_and_byte_identical(self, small_dataset):
+        estimator = make_estimator("tmfg-dbht", num_clusters=3, prefix=2)
+        result = estimator.fit(small_dataset.data).result_
+        clone = result.clone()
+        assert clone.to_json() == result.to_json()
+        clone.labels[:] = -1
+        clone.step_seconds["total"] = -1.0
+        clone.extras["rounds"] = -1
+        assert np.all(result.labels >= 0)
+        assert result.step_seconds["total"] >= 0
+        assert result.extras["rounds"] >= 1
+        # The heavyweight raw artefacts are shared, not copied.
+        assert clone.raw is result.raw
+
     def test_cut_without_dendrogram_raises(self, small_dataset):
         estimator = make_estimator("kmeans", num_clusters=3)
         result = estimator.fit(small_dataset.data).result_

@@ -1,0 +1,386 @@
+"""Tests for the content-addressed result cache and the batch fan-out.
+
+Covers the cache tiers (LRU order, disk round-trip, corrupt/stale entries
+degrading to misses), fingerprint semantics, byte-identical cache hits
+through the estimator layer, ``cluster_many`` deduplication and its
+serving-path bugfixes, and the shared-memory matrix transport.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import ClusteringConfig, ClusterResult, cluster_many, make_estimator
+from repro.api.batch import fit_one
+from repro.cache import (
+    CACHE_KNOB_FIELDS,
+    ResultCache,
+    clear_result_caches,
+    config_fingerprint,
+    get_result_cache,
+    matrix_fingerprint,
+    result_cache_key,
+)
+from repro.cache.store import _ENTRY_MAGIC, ENTRY_FORMAT_VERSION
+from repro.datasets.similarity import similarity_and_dissimilarity
+from repro.datasets.synthetic import make_time_series_dataset
+from repro.parallel import shm
+from repro.parallel.scheduler import ProcessBackend, SerialBackend, ThreadBackend
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Every test starts and ends with empty process-wide caches."""
+    clear_result_caches()
+    yield
+    clear_result_caches()
+
+
+@pytest.fixture(scope="module")
+def similarity():
+    dataset = make_time_series_dataset(
+        num_objects=40, length=64, num_classes=3, noise=1.0, seed=11
+    )
+    matrix, _ = similarity_and_dissimilarity(dataset.data)
+    return matrix
+
+
+def _config(**overrides):
+    base = dict(precomputed=True, num_clusters=3, prefix=4, cache=True)
+    base.update(overrides)
+    return ClusteringConfig(**base)
+
+
+class TestFingerprints:
+    def test_matrix_fingerprint_is_content_addressed(self):
+        a = np.arange(16, dtype=float).reshape(4, 4)
+        assert matrix_fingerprint(a) == matrix_fingerprint(a.copy())
+        # Non-contiguous views of the same data agree with their copies.
+        wide = np.arange(32, dtype=float).reshape(4, 8)
+        assert matrix_fingerprint(wide[:, ::2]) == matrix_fingerprint(
+            wide[:, ::2].copy()
+        )
+
+    def test_matrix_fingerprint_sensitive_to_bytes_shape_dtype(self):
+        a = np.arange(16, dtype=float).reshape(4, 4)
+        bumped = a.copy()
+        bumped[2, 3] = np.nextafter(bumped[2, 3], np.inf)
+        assert matrix_fingerprint(a) != matrix_fingerprint(bumped)
+        assert matrix_fingerprint(a) != matrix_fingerprint(a.reshape(2, 8))
+        assert matrix_fingerprint(a) != matrix_fingerprint(a.astype(np.float32))
+
+    def test_config_fingerprint_ignores_cache_knobs(self, tmp_path):
+        plain = _config(cache=False, cache_dir=None)
+        cached = _config(cache=True, cache_dir=str(tmp_path))
+        assert config_fingerprint(plain) == config_fingerprint(cached)
+        assert set(CACHE_KNOB_FIELDS) == {"cache", "cache_dir"}
+
+    def test_config_fingerprint_sensitive_to_method_knobs(self):
+        assert config_fingerprint(_config()) != config_fingerprint(_config(prefix=5))
+        assert config_fingerprint(_config()) != config_fingerprint(
+            _config(num_clusters=4)
+        )
+
+    def test_result_cache_key_covers_explicit_dissimilarity(self, similarity):
+        config = _config()
+        dis = np.sqrt(np.clip(2.0 * (1.0 - similarity), 0.0, None))
+        assert result_cache_key(config, similarity) != result_cache_key(
+            config, similarity, dis
+        )
+
+
+class TestResultCacheLRU:
+    def test_lru_evicts_least_recently_used_first(self):
+        cache = ResultCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key.upper())
+        assert cache.get("a") == "A"  # refresh a: b is now the oldest
+        cache.put("d", "D")
+        assert cache.keys() == ["c", "a", "d"]
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+        assert cache.stats.misses == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_stats_track_hits_and_misses(self):
+        cache = ResultCache(max_entries=2)
+        assert cache.get("nope") is None
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.as_dict()["hit_rate"] == 0.5
+
+
+class TestResultCacheDisk:
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        first = ResultCache(cache_dir=str(tmp_path))
+        first.put("deadbeef", {"labels": [1, 2, 3]})
+        # A fresh instance (fresh memory tier) must hit via disk.
+        second = ResultCache(cache_dir=str(tmp_path))
+        assert second.get("deadbeef") == {"labels": [1, 2, 3]}
+        assert second.stats.disk_hits == 1
+        # ... and promote the entry into its memory tier.
+        assert "deadbeef" in second
+
+    def test_corrupted_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        cache.put("feedface", "value")
+        (path,) = [p for p in os.listdir(tmp_path) if p.endswith(".pkl")]
+        with open(tmp_path / path, "wb") as handle:
+            handle.write(b"\x80\x04 truncated garbage")
+        fresh = ResultCache(cache_dir=str(tmp_path))
+        assert fresh.get("feedface") is None
+        assert fresh.stats.disk_errors == 1
+        assert fresh.stats.misses == 1
+        # The bad file is pruned so it is not re-parsed forever.
+        assert not (tmp_path / path).exists()
+
+    def test_stale_format_version_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(cache_dir=str(tmp_path))
+        cache.put("cafebabe", "value")
+        (path,) = [str(tmp_path / p) for p in os.listdir(tmp_path)]
+        from repro import __version__
+
+        envelope = (_ENTRY_MAGIC, ENTRY_FORMAT_VERSION + 1, __version__, "cafebabe", "value")
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        fresh = ResultCache(cache_dir=str(tmp_path))
+        assert fresh.get("cafebabe") is None
+        assert fresh.stats.disk_errors == 1
+
+    def test_unwritable_cache_dir_degrades_persistence_not_correctness(self, tmp_path):
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("a file where the cache dir should be")
+        cache = ResultCache(cache_dir=str(blocked))
+        cache.put("k", "v")  # must not raise
+        assert cache.get("k") == "v"  # memory tier still serves it
+        assert cache.stats.disk_errors == 1
+
+    def test_registry_shares_instances_per_directory(self, tmp_path):
+        assert get_result_cache() is get_result_cache()
+        assert get_result_cache(str(tmp_path)) is get_result_cache(str(tmp_path))
+        assert get_result_cache() is not get_result_cache(str(tmp_path))
+
+
+class TestEstimatorCacheIntegration:
+    def test_hit_is_byte_identical_to_cold_fit(self, similarity):
+        config = _config()
+        cold = make_estimator(config.method, config).fit(similarity).result_
+        warm = make_estimator(config.method, config).fit(similarity).result_
+        assert get_result_cache().stats.hits == 1
+        # Labels, linkage artefacts, and the timing structure come back
+        # verbatim: the serialized payloads are byte-identical.
+        assert warm.to_json() == cold.to_json()
+        assert np.array_equal(warm.labels, cold.labels)
+        assert warm.step_seconds == cold.step_seconds
+        assert warm.dendrogram is not None
+
+    def test_cache_disabled_recomputes(self, similarity):
+        config = _config(cache=False)
+        make_estimator(config.method, config).fit(similarity)
+        make_estimator(config.method, config).fit(similarity)
+        assert get_result_cache().stats.lookups == 0
+
+    def test_hit_serves_a_clone_not_the_cached_object(self, similarity):
+        config = _config()
+        first = make_estimator(config.method, config).fit(similarity).result_
+        first.labels[:] = -1  # a hostile caller scribbling on its result
+        second = make_estimator(config.method, config).fit(similarity).result_
+        assert np.all(second.labels >= 0)
+
+    def test_disk_tier_round_trips_cluster_results(self, similarity, tmp_path):
+        config = _config(cache_dir=str(tmp_path))
+        cold = make_estimator(config.method, config).fit(similarity).result_
+        clear_result_caches()  # forget the memory tier, keep the files
+        warm = make_estimator(config.method, config).fit(similarity).result_
+        assert warm.to_json() == cold.to_json()
+        assert get_result_cache(str(tmp_path)).stats.disk_hits == 1
+
+    def test_warm_start_fits_bypass_the_cache(self, similarity):
+        from repro.core.tmfg import construct_tmfg
+
+        config = _config()
+        hints = construct_tmfg(similarity, prefix=4).warm_start_hints()
+        estimator = make_estimator(config.method, config)
+        estimator.fit(similarity, warm_start=hints)
+        assert get_result_cache().stats.lookups == 0
+        assert get_result_cache().stats.stores == 0
+
+    def test_different_matrices_do_not_collide(self, similarity):
+        config = _config()
+        other = similarity.copy()
+        other[1, 2] = other[2, 1] = other[1, 2] * 0.5
+        a = make_estimator(config.method, config).fit(similarity).result_
+        b = make_estimator(config.method, config).fit(other).result_
+        assert get_result_cache().stats.hits == 0
+        assert len(get_result_cache()) == 2
+        assert a.to_json() != b.to_json()
+
+
+class TestClusterManyDedup:
+    def test_duplicates_fit_once_and_payloads_match(self, similarity, monkeypatch):
+        calls = []
+
+        def counting_fit(config, matrix):
+            calls.append(1)
+            return fit_one(config, matrix)
+
+        import repro.api.batch as batch
+
+        monkeypatch.setattr(batch, "fit_one", counting_fit)
+        config = _config(cache=False)
+        results = cluster_many([similarity] * 8, config)
+        assert len(calls) == 1
+        payloads = {r.to_json() for r in results}
+        assert len(payloads) == 1
+        assert all(r.labels is not results[0].labels for r in results[1:])
+
+    def test_dedupe_false_fits_every_input(self, similarity, monkeypatch):
+        calls = []
+        import repro.api.batch as batch
+
+        original = batch.fit_one
+
+        def counting_fit(config, matrix):
+            calls.append(1)
+            return original(config, matrix)
+
+        monkeypatch.setattr(batch, "fit_one", counting_fit)
+        cluster_many([similarity] * 3, _config(cache=False), dedupe=False)
+        assert len(calls) == 3
+
+    def test_repeated_call_served_from_cache(self, similarity):
+        config = _config()
+        first = cluster_many([similarity] * 5, config)
+        stores_after_first = get_result_cache().stats.stores
+        hits_after_first = get_result_cache().stats.hits
+        second = cluster_many([similarity] * 5, config)
+        # No new stores: every result of the second call was a cache hit.
+        assert get_result_cache().stats.stores == stores_after_first
+        assert get_result_cache().stats.hits == hits_after_first + 1
+        assert [r.to_json() for r in second] == [r.to_json() for r in first]
+
+    def test_mixed_batch_preserves_input_order(self, similarity):
+        other = similarity.copy()
+        other[0, 1] = other[1, 0] = other[0, 1] * 0.5
+        config = _config(cache=False)
+        results = cluster_many([similarity, other, similarity], config)
+        assert results[0].to_json() == results[2].to_json()
+        direct = fit_one(config, other)
+        assert np.array_equal(results[1].labels, direct.labels)
+
+    def test_workers_with_backend_instance_rejected(self, similarity):
+        backend = SerialBackend()
+        with pytest.raises(ValueError, match="workers"):
+            cluster_many([similarity], _config(cache=False), backend=backend, workers=4)
+
+    def test_workers_without_backend_rejected(self, similarity):
+        # Regression: workers used to be silently ignored on the default
+        # serial path — the caller who asked for 8 workers got a serial
+        # run with no signal.
+        with pytest.raises(ValueError, match="workers"):
+            cluster_many([similarity], _config(cache=False), workers=8)
+
+    def test_alias_method_shares_cache_with_direct_fits(self, similarity):
+        # Regression: cluster_many used to fingerprint the raw config while
+        # the estimator fingerprints its normalized one (par-tdbht pins to
+        # tmfg-dbht), so alias ids stored every entry twice and never hit
+        # what a direct estimator fit wrote.
+        config = _config(method="par-tdbht")
+        make_estimator(config.method, config).fit(similarity)
+        stats = get_result_cache().stats
+        assert (stats.misses, stats.stores) == (1, 1)
+        results = cluster_many([similarity] * 3, config)
+        assert stats.misses == 1  # every batch lookup hit the direct fit's entry
+        assert stats.stores == 1
+        direct = make_estimator(config.method, config).fit(similarity).result_
+        assert results[0].to_json() == direct.to_json()
+
+    def test_misses_are_stored_once(self, similarity):
+        # Regression: serial/thread dispatch runs estimator.fit in-process,
+        # which already stores the miss; the batch layer used to clone and
+        # store the same entry a second time.
+        cluster_many([similarity] * 5, _config())
+        assert get_result_cache().stats.stores == 1
+
+    def test_process_fanout_forces_per_fit_backend_serial(self, similarity):
+        backend = ProcessBackend(num_workers=2)
+        config = _config(cache=False, backend="thread", workers=2)
+        try:
+            with pytest.warns(RuntimeWarning, match="nest pools"):
+                results = cluster_many([similarity], config, backend=backend)
+        finally:
+            backend.close()
+        # The result's config records the forced-serial per-fit backend.
+        assert results[0].config.backend is None
+        assert results[0].config.workers is None
+
+    def test_thread_fanout_keeps_per_fit_backend(self, similarity):
+        backend = ThreadBackend(num_workers=2)
+        try:
+            results = cluster_many(
+                [similarity], _config(cache=False, backend="thread", workers=2),
+                backend=backend,
+            )
+        finally:
+            backend.close()
+        assert results[0].config.backend == "thread"
+
+
+class TestSharedMemoryTransport:
+    pytestmark = pytest.mark.skipif(
+        not shm.shared_memory_available(), reason="no usable shared memory"
+    )
+
+    def test_round_trip_preserves_bytes(self):
+        matrix = np.random.default_rng(3).normal(size=(17, 9))
+        with shm.SharedMatrixArena() as arena:
+            ref = arena.share(matrix)
+            view = shm.open_matrix(ref)
+            assert view.dtype == matrix.dtype
+            assert np.array_equal(view, matrix)
+            assert not view.flags.writeable
+
+    def test_process_fanout_matches_serial_results(self, similarity):
+        config = _config(cache=False)
+        serial = cluster_many([similarity] * 3, config, dedupe=False)
+        backend = ProcessBackend(num_workers=2)
+        try:
+            shipped = cluster_many(
+                [similarity] * 3, config, backend=backend, dedupe=False
+            )
+        finally:
+            backend.close()
+        for a, b in zip(serial, shipped):
+            assert np.array_equal(a.labels, b.labels)
+            assert a.extras["edge_weight_sum"] == b.extras["edge_weight_sum"]
+
+    def test_arena_cleans_up_segments(self):
+        arena = shm.SharedMatrixArena()
+        ref = arena.share(np.ones((4, 4)))
+        arena.close()
+        from multiprocessing import shared_memory as stdlib_shm
+
+        with pytest.raises(FileNotFoundError):
+            stdlib_shm.SharedMemory(name=ref.name)
+
+
+class TestCacheConfigValidation:
+    def test_cache_dir_requires_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="cache_dir"):
+            ClusteringConfig(cache=False, cache_dir=str(tmp_path))
+
+    def test_cache_knobs_round_trip_through_json(self, tmp_path):
+        config = _config(cache_dir=str(tmp_path))
+        assert ClusteringConfig.from_json(config.to_json()) == config

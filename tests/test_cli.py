@@ -121,6 +121,54 @@ class TestKernelAndBackendFlags:
         assert "--workers" in capsys.readouterr().err
 
 
+class TestCacheFlags:
+    def test_cache_dir_round_trip_is_byte_identical(self, data_csv, tmp_path):
+        from repro.cache import clear_result_caches
+
+        path, _ = data_csv
+        cache_dir = tmp_path / "cache"
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        args = ["cluster", str(path), "--clusters", "3", "--prefix", "2",
+                "--cache-dir", str(cache_dir)]
+        assert main(args + ["--json", str(cold_json)]) == 0
+        # Forget the in-process tiers so the second run must hit the disk.
+        clear_result_caches()
+        assert main(args + ["--json", str(warm_json)]) == 0
+        assert cold_json.read_bytes() == warm_json.read_bytes()
+        assert any(cache_dir.glob("*.pkl"))
+
+    def test_no_cache_disables_lookups(self, data_csv, tmp_path):
+        from repro.cache import clear_result_caches, get_result_cache
+
+        path, _ = data_csv
+        clear_result_caches()
+        args = ["cluster", str(path), "--clusters", "3", "--prefix", "2",
+                "--no-cache", "--out", str(tmp_path / "labels.txt")]
+        assert main(args) == 0
+        assert get_result_cache().stats.lookups == 0
+
+    def test_no_cache_with_cache_dir_rejected(self, data_csv, tmp_path, capsys):
+        path, _ = data_csv
+        args = ["cluster", str(path), "--clusters", "3", "--no-cache",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_stream_reports_reused_ticks(self, tmp_path, capsys):
+        rng = np.random.default_rng(9)
+        block = rng.normal(size=(16, 30))
+        data_path = tmp_path / "returns.csv"
+        np.savetxt(data_path, np.tile(block, (1, 3)), delimiter=",")
+        report = tmp_path / "ticks.json"
+        args = ["stream", str(data_path), "--clusters", "3", "--window", "30",
+                "--hop", "30", "--cold", "--json", str(report)]
+        assert main(args) == 0
+        assert "reused (unchanged window): 2" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert [tick["reused"] for tick in payload["ticks"]] == [False, True, True]
+
+
 class TestConfigFile:
     def test_save_and_reload_round_trip(self, data_csv, tmp_path, capsys):
         from repro.api import ClusteringConfig

@@ -73,6 +73,19 @@ class TestThreadBackend:
         finally:
             backend.close()
 
+    def test_map_accepts_generator_input(self):
+        # Regression: len() on a generator raised TypeError despite the
+        # Iterable signature; unsized inputs are materialized first.
+        backend = ThreadBackend(num_workers=2)
+        try:
+            assert backend.map(lambda x: x * 2, (x for x in range(10))) == [
+                x * 2 for x in range(10)
+            ]
+            assert backend.map(lambda x: x + 1, (x for x in range(1))) == [1]
+            assert backend.map(lambda x: x, (x for x in range(0))) == []
+        finally:
+            backend.close()
+
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             ThreadBackend(num_workers=0)
@@ -90,6 +103,15 @@ class TestProcessBackend:
         backend = ProcessBackend(num_workers=2)
         try:
             assert backend.map(_square, [3]) == [9]
+        finally:
+            backend.close()
+
+    def test_map_accepts_generator_input(self):
+        backend = ProcessBackend(num_workers=2)
+        try:
+            assert backend.map(_square, (x for x in range(6))) == [
+                x * x for x in range(6)
+            ]
         finally:
             backend.close()
 

@@ -127,6 +127,78 @@ class TestStreamingEquivalence:
         assert cold.warm_stats.warm_attempts == 0
 
 
+class TestTickShortCircuit:
+    """Ticks whose windowed correlation bytes are unchanged are reused."""
+
+    @pytest.fixture()
+    def tiled_returns(self):
+        # Four consecutive windows with byte-identical content: window ==
+        # hop == block width, and the stream is the block tiled 4 times.
+        rng = np.random.default_rng(21)
+        block = rng.normal(size=(16, 30))
+        return np.tile(block, (1, 4))
+
+    def _pipeline(self, returns, cache: bool):
+        from repro.api.config import ClusteringConfig
+
+        config = ClusteringConfig(
+            num_clusters=3, warm_start=False, cache=cache
+        )
+        return StreamingPipeline(returns, window=30, hop=30, config=config)
+
+    def test_unchanged_windows_are_reused(self, tiled_returns):
+        from repro.cache import clear_result_caches
+
+        clear_result_caches()
+        pipeline = self._pipeline(tiled_returns, cache=True)
+        result = pipeline.run()
+        assert result.num_ticks == 4
+        assert not result.ticks[0].reused
+        assert all(tick.reused for tick in result.ticks[1:])
+        assert result.reused_ticks == 3
+        for tick in result.ticks[1:]:
+            np.testing.assert_array_equal(tick.labels, result.ticks[0].labels)
+            assert tick.drift_ari == pytest.approx(1.0)
+            # Reused ticks skip the fit: only similarity + total are timed.
+            assert set(tick.step_seconds) == {"similarity", "total"}
+            assert tick.to_cluster_result(pipeline.config).extras["reused"] is True
+
+    def test_warm_mode_short_circuits_identical_windows(self, tiled_returns):
+        # Regression: the fingerprint used to be taken over the derived
+        # correlation, which in warm mode is path-dependent (incremental
+        # sums drift ~1e-12), so the short-circuit never fired in the
+        # stream CLI's default warm configuration.  Keying on the window's
+        # raw bytes makes identical windows reuse in both modes.
+        from repro.api.config import ClusteringConfig
+        from repro.cache import clear_result_caches
+
+        clear_result_caches()
+        config = ClusteringConfig(num_clusters=3, warm_start=True, cache=True)
+        result = StreamingPipeline(
+            tiled_returns, window=30, hop=30, config=config
+        ).run()
+        assert result.num_ticks == 4
+        assert result.reused_ticks == 3
+        for tick in result.ticks[1:]:
+            np.testing.assert_array_equal(tick.labels, result.ticks[0].labels)
+
+    def test_short_circuit_requires_cache_knob(self, tiled_returns):
+        result = self._pipeline(tiled_returns, cache=False).run()
+        assert result.reused_ticks == 0
+        assert all(not tick.reused for tick in result.ticks)
+        # Identical windows still cluster identically, just recomputed.
+        for tick in result.ticks[1:]:
+            np.testing.assert_array_equal(tick.labels, result.ticks[0].labels)
+
+    def test_reused_labels_are_private_copies(self, tiled_returns):
+        from repro.cache import clear_result_caches
+
+        clear_result_caches()
+        ticks = list(self._pipeline(tiled_returns, cache=True).iter_ticks())
+        ticks[1].labels[:] = -1
+        assert np.all(ticks[2].labels >= 0)
+
+
 class TestStreamingPipeline:
     def test_tick_geometry_and_metadata(self, regime_stream):
         pipeline = StreamingPipeline(
