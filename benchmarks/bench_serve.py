@@ -1,0 +1,248 @@
+"""Serving-throughput benchmark: micro-batching + dedupe vs batch-size-1.
+
+Closed-loop load generation against a live in-process
+:class:`~repro.serve.server.ClusteringServer`: ``--clients`` threads each
+run a blocking request loop (send, wait, send again) over a repetitive
+workload — every client POSTs the same matrix, the shape of traffic the
+batching queue exists for.  Two server configurations are measured:
+
+* **unbatched** — ``max_wait_ms=0``, ``max_batch_size=1``, cache and
+  dedupe off: every request is an independent full fit (the baseline a
+  naive HTTP wrapper around the estimator would give you);
+* **batched** — the real serving path: size-or-deadline micro-batching
+  into ``cluster_many`` so concurrent identical requests are fitted once
+  per batch (the request config keeps the cache off, so the speedup
+  measured is batching+dedupe alone, not result-cache hits).
+
+Reports RPS and p50/p95/p99 latency per mode as one JSON document and
+asserts the acceptance bound (batched ≥ ``--min-speedup``x unbatched
+throughput, default 3x), plus byte-identity of a served result against
+the same fit made directly through ``TMFGClusterer``::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --assets 80 --clients 8 --requests 12 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.api import ClusteringConfig, TMFGClusterer
+from repro.cache import clear_result_caches
+from repro.datasets.synthetic import make_time_series_dataset
+from repro.serve import ClusteringServer, ServeClient, ServerBusy
+
+DEFAULT_ASSETS = 120
+DEFAULT_CLIENTS = 8
+DEFAULT_REQUESTS = 10  # per client
+DEFAULT_MIN_SPEEDUP = 3.0
+NUM_CLUSTERS = 4
+PREFIX = 10
+
+
+def _series(num_assets: int, seed: int = 42) -> np.ndarray:
+    return make_time_series_dataset(
+        num_objects=num_assets, length=96, num_classes=NUM_CLUSTERS, noise=1.1, seed=seed
+    ).data
+
+
+def _percentile(sorted_ms: List[float], q: float) -> float:
+    if not sorted_ms:
+        return 0.0
+    index = min(len(sorted_ms) - 1, max(0, int(round(q * (len(sorted_ms) - 1)))))
+    return sorted_ms[index]
+
+
+def _drive(
+    host: str,
+    port: int,
+    matrix: np.ndarray,
+    config: Dict[str, Any],
+    clients: int,
+    requests_per_client: int,
+) -> Dict[str, Any]:
+    """Closed-loop load: each client thread sends its next request only
+    after the previous response arrives."""
+    latencies_ms: List[float] = []
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client_loop() -> None:
+        local: List[float] = []
+        try:
+            with ServeClient(host, port, timeout=300.0) as client:
+                # Encode once: replaying the bytes keeps the loop measuring
+                # the server, not per-iteration json.dumps of the matrix.
+                body = client.encode_cluster_body(matrix, config)
+                barrier.wait(timeout=60)
+                for _ in range(requests_per_client):
+                    start = time.perf_counter()
+                    while True:
+                        try:
+                            client.request("POST", "/cluster", body)
+                            break
+                        except ServerBusy as busy:
+                            time.sleep(max(busy.retry_after, 0.05))
+                    local.append((time.perf_counter() - start) * 1000.0)
+        except BaseException as error:  # pragma: no cover - reported below
+            with lock:
+                errors.append(error)
+            return
+        with lock:
+            latencies_ms.extend(local)
+
+    threads = [threading.Thread(target=client_loop) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - wall_start
+    if errors:
+        raise RuntimeError(f"load generation failed: {errors[0]!r}") from errors[0]
+    ordered = sorted(latencies_ms)
+    completed = len(ordered)
+    return {
+        "clients": clients,
+        "requests": completed,
+        "wall_seconds": round(wall_seconds, 4),
+        "rps": round(completed / wall_seconds, 2) if wall_seconds > 0 else 0.0,
+        "p50_ms": round(_percentile(ordered, 0.50), 2),
+        "p95_ms": round(_percentile(ordered, 0.95), 2),
+        "p99_ms": round(_percentile(ordered, 0.99), 2),
+        "mean_ms": round(sum(ordered) / completed, 2) if completed else 0.0,
+    }
+
+
+def _measure(
+    mode: str,
+    matrix: np.ndarray,
+    request_config: Dict[str, Any],
+    clients: int,
+    requests_per_client: int,
+    server_kwargs: Dict[str, Any],
+) -> Dict[str, Any]:
+    clear_result_caches()
+    server = ClusteringServer(port=0, **server_kwargs)
+    handle = server.start_in_background()
+    try:
+        with ServeClient(handle.host, handle.port) as warmup:
+            warmup.wait_healthy(30)
+            warmup.cluster(matrix, config=request_config)  # JIT/warm-up fit
+        report = _drive(
+            handle.host, handle.port, matrix, request_config, clients, requests_per_client
+        )
+        with ServeClient(handle.host, handle.port) as scrape:
+            metrics = scrape.metrics()
+        report["batching"] = metrics["batching"]
+        report["mode"] = mode
+        return report
+    finally:
+        handle.stop()
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--assets", type=int, default=DEFAULT_ASSETS)
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS,
+                        help="requests per client (closed loop)")
+    parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+                        help="required batched/unbatched RPS ratio (acceptance bound)")
+    parser.add_argument("--fit-workers", type=int, default=1,
+                        help="fit threads in BOTH modes (default 1, so the measured "
+                        "ratio isolates batching+dedupe from pool parallelism)")
+    parser.add_argument("--max-wait-ms", type=float, default=40.0,
+                        help="flush deadline of the batched mode (default 40ms, wide "
+                        "enough to coalesce all clients' arrivals)")
+    parser.add_argument("--json", default=None, help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    matrix = _series(args.assets)
+    request_config = {"num_clusters": NUM_CLUSTERS, "prefix": PREFIX}
+    # Cache off in the server default (cache is operator-controlled, not a
+    # request field): the measured win is micro-batching + in-batch
+    # dedupe, not repeat-traffic cache hits (bench_cache.py covers those).
+    default_config = ClusteringConfig()
+
+    unbatched = _measure(
+        "unbatched",
+        matrix,
+        request_config,
+        args.clients,
+        args.requests,
+        dict(
+            default_config=default_config,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            fit_workers=args.fit_workers,
+        ),
+    )
+    batched = _measure(
+        "batched",
+        matrix,
+        request_config,
+        args.clients,
+        args.requests,
+        dict(
+            default_config=default_config,
+            max_batch_size=args.clients,
+            max_wait_ms=args.max_wait_ms,
+            fit_workers=args.fit_workers,
+        ),
+    )
+
+    # Byte-identity acceptance: serve one request with the cache on, then
+    # make the same fit directly — same process, shared cache, so the
+    # direct fit serves the stored entry and the bytes must match exactly.
+    clear_result_caches()
+    cached_default = ClusteringConfig(cache=True)
+    server = ClusteringServer(port=0, default_config=cached_default, max_wait_ms=5.0)
+    handle = server.start_in_background()
+    try:
+        with ServeClient(handle.host, handle.port) as client:
+            envelope = client.cluster(matrix, config={"num_clusters": NUM_CLUSTERS, "prefix": PREFIX})
+    finally:
+        handle.stop()
+    direct = (
+        TMFGClusterer(cached_default.replace(num_clusters=NUM_CLUSTERS, prefix=PREFIX))
+        .fit(matrix)
+        .result_
+    )
+    byte_identical = json.dumps(envelope["result"]) == direct.to_json()
+
+    speedup = (
+        batched["rps"] / unbatched["rps"] if unbatched["rps"] > 0 else float("inf")
+    )
+    report = {
+        "benchmark": "serve_throughput",
+        "num_assets": args.assets,
+        "workload": "repetitive (all clients POST the same matrix)",
+        "unbatched": unbatched,
+        "batched": batched,
+        "speedup_rps": round(speedup, 2),
+        "min_speedup": args.min_speedup,
+        "byte_identical_to_direct_fit": byte_identical,
+    }
+    print(json.dumps(report, indent=2))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle_:
+            json.dump(report, handle_, indent=2)
+    assert byte_identical, "served payload diverged from the direct estimator fit"
+    assert speedup >= args.min_speedup, (
+        f"micro-batching gave only {speedup:.2f}x over batch-size-1 serving "
+        f"(required {args.min_speedup}x)"
+    )
+    return report
+
+
+if __name__ == "__main__":
+    main()

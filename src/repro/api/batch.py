@@ -49,6 +49,13 @@ from repro.parallel.scheduler import (
 
 def fit_one(config: ClusteringConfig, matrix: np.ndarray) -> ClusterResult:
     """Fit ``config.method`` on one matrix (the unit of batch work)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"fit_one expects a 2-D matrix (objects x observations, or a "
+            f"square similarity matrix with config.precomputed); got shape "
+            f"{matrix.shape}"
+        )
     estimator = make_estimator(config.method, config)
     estimator.fit(matrix)
     assert estimator.result_ is not None
@@ -110,6 +117,10 @@ def cluster_many(
             f"workers={workers} has no effect without a fan-out backend; "
             "pass backend='thread' or backend='process'"
         )
+    if len(matrices) == 0:
+        # Nothing to fit: skip backend construction, fingerprinting, and
+        # dispatch entirely (the serving path flushes empty batches away).
+        return []
     owns_backend = False
     if backend is None:
         backend = SerialBackend()

@@ -129,7 +129,15 @@ class ClusterResult:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe payload: labels, timings, config, scalar extras."""
+        """JSON-safe payload: labels, timings, config, scalar extras.
+
+        This is the dict behind :meth:`to_json` — every value is a plain
+        JSON type, so callers (the serving layer in particular) can embed
+        it directly inside a larger response envelope without a
+        stringify-then-reparse round trip, and
+        ``json.dumps(result.to_dict())`` is byte-identical to
+        ``result.to_json()``.
+        """
         return {
             "method": self.method,
             "config": self.config.to_dict(),

@@ -54,6 +54,13 @@ class CacheStats:
     ``disk_hits`` the subset served from disk.  ``disk_errors`` counts
     corrupt, stale, or unreadable disk entries (each also surfaced to the
     caller as a miss).
+
+    Counters are mutated under the owning store's lock, and the store
+    shares that lock with its stats object, so the derived readers
+    (:meth:`snapshot`, :attr:`hit_rate`, :meth:`as_dict`) see a consistent
+    point-in-time view even while serving threads are counting — e.g. a
+    ``/metrics`` scrape can never observe ``hits`` from after a lookup
+    whose ``misses`` increment it already read.
     """
 
     hits: int = 0
@@ -63,18 +70,49 @@ class CacheStats:
     disk_hits: int = 0
     disk_errors: int = 0
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: asdict()/repr/compare skip it, and the
+        # owning ResultCache replaces it with the store lock the counter
+        # mutations already run under.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)  # locks do not pickle
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def snapshot(self) -> "CacheStats":
+        """A consistent point-in-time copy (one lock acquisition)."""
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                stores=self.stores,
+                evictions=self.evictions,
+                disk_hits=self.disk_hits,
+                disk_errors=self.disk_errors,
+            )
+
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        with self._lock:
+            return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 with no lookups)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        with self._lock:
+            hits, lookups = self.hits, self.hits + self.misses
+        return hits / lookups if lookups else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
-        payload = asdict(self)
-        payload["hit_rate"] = self.hit_rate
+        snap = self.snapshot()
+        payload = asdict(snap)
+        payload["hit_rate"] = snap.hits / snap.lookups if snap.lookups else 0.0
         return payload
 
 
@@ -114,6 +152,10 @@ class ResultCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        # Counter mutations happen under self._lock; sharing it with the
+        # stats object makes snapshot()/hit_rate/as_dict consistent for
+        # concurrent readers (the serving /metrics path).
+        self.stats._lock = self._lock
 
     # -- lookups -----------------------------------------------------------
 

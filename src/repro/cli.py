@@ -15,6 +15,13 @@ Three subcommands cover the library's main workflows without writing Python:
     per row), re-clustering every ``--hop`` observations with warm-started
     TMFG rebuilds, and report per-tick timings and cluster drift.
 
+``serve``
+    Run the micro-batching HTTP/JSON clustering daemon (``POST /cluster``,
+    ``GET /healthz``, ``GET /metrics``) until SIGTERM.  The flags shared
+    with ``cluster`` (``--kernel``, ``--backend``, ``--config``,
+    ``--cache-dir``, ...) set the *default* config that request payloads
+    overlay.
+
 ``figure``
     Re-run one of the paper's figure reproductions and print its rows.
 
@@ -26,6 +33,7 @@ Examples
     python -m repro cluster data.csv --clusters 5 --method hac-average
     python -m repro cluster data.csv --config cfg.json
     python -m repro stream returns.csv --clusters 5 --window 250 --hop 5 --json ticks.json
+    python -m repro serve --port 8752 --max-batch-size 16 --max-wait-ms 10
     python -m repro figure fig6 --scale 0.02
     python -m repro list-figures
 """
@@ -293,6 +301,46 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here: the serving layer pulls in asyncio machinery no other
+    # subcommand needs.
+    from repro.serve.server import ClusteringServer
+
+    try:
+        config = _config_from_args(args, ClusteringConfig(cache=True))
+        server = ClusteringServer(
+            host=args.host,
+            port=args.port,
+            default_config=config,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            max_queue_depth=args.max_queue,
+            fit_workers=args.fit_workers,
+        )
+    except (ValueError, OSError) as error:
+        _print_cli_error(error)
+        return 2
+
+    def _announce(ready: ClusteringServer) -> None:
+        print(
+            f"repro serve listening on http://{ready.host}:{ready.port} "
+            f"(method={config.method}, cache={'on' if config.cache else 'off'}, "
+            f"max_batch_size={ready.max_batch_size}, max_wait_ms={ready.max_wait_ms:g}, "
+            f"max_queue={ready.max_queue_depth}, fit_workers={ready.fit_workers})",
+            flush=True,
+        )
+
+    try:
+        server.run(on_ready=_announce)
+    except OSError as error:  # e.g. port already bound
+        print(f"repro serve failed to start: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; exit quietly
+    print("repro serve drained and stopped", flush=True)
+    return 0
+
+
 def _command_figure(args: argparse.Namespace) -> int:
     if args.name not in FIGURE_ENTRY_POINTS:
         print(f"unknown figure {args.name!r}; use `list-figures`", file=sys.stderr)
@@ -429,6 +477,59 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--json", help="write the per-tick report as JSON to this file")
     _add_execution_flags(stream)
     stream.set_defaults(func=_command_stream)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the micro-batching HTTP/JSON clustering service",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8752,
+        help="bind port (default 8752; 0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--clusters",
+        type=int,
+        default=None,
+        help="default flat-cluster count for requests that do not set num_clusters",
+    )
+    serve.add_argument(
+        "--method",
+        choices=available_estimators(),
+        default=None,
+        help="default estimator id for requests that do not name one (default: tmfg-dbht)",
+    )
+    serve.add_argument(
+        "--prefix", type=int, default=None, help="default TMFG prefix size (default 1)"
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=16,
+        help="flush a micro-batch at this many waiting requests (default 16)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=10.0,
+        help="flush when the oldest waiting request is this old (default 10ms; 0 disables batching)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admission bound: answer 429 beyond this many waiting requests (default 256)",
+    )
+    serve.add_argument(
+        "--fit-workers",
+        type=int,
+        default=2,
+        help="threads fitting batches concurrently (default 2)",
+    )
+    _add_execution_flags(serve)
+    serve.set_defaults(func=_command_serve)
 
     figure = subparsers.add_parser("figure", help="re-run one of the paper's figures")
     figure.add_argument("name", help="figure id, e.g. fig6 (see list-figures)")

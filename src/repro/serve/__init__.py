@@ -1,0 +1,48 @@
+"""repro.serve — the async micro-batching clustering service.
+
+The serving layer turns the library's batch machinery into a long-running
+network daemon::
+
+    repro serve --port 8752 --max-batch-size 16 --max-wait-ms 10
+
+Independent ``POST /cluster`` requests are coalesced by a size-or-deadline
+:class:`MicroBatcher` into :func:`repro.api.cluster_many` calls, so
+concurrent identical requests dedupe and cache-hit exactly like offline
+batches; fits run on a thread pool off the event loop.  Admission is
+bounded (HTTP 429 + ``Retry-After`` once ``--max-queue`` requests wait),
+shutdown drains gracefully on SIGTERM, and ``GET /metrics`` /
+``GET /healthz`` expose live counters, latency histograms, and the result
+cache's hit-rate.
+
+Programmatic use::
+
+    from repro.serve import ClusteringServer, ServeClient
+
+    with ClusteringServer(port=0).start_in_background() as handle:
+        with ServeClient(handle.host, handle.port) as client:
+            envelope = client.cluster(matrix, config={"num_clusters": 4})
+"""
+
+from repro.serve.batcher import (
+    BatcherStats,
+    MicroBatcher,
+    QueueFull,
+    ServiceStopping,
+)
+from repro.serve.client import ServeClient, ServerBusy, ServerError
+from repro.serve.metrics import LatencyHistogram, ServerMetrics
+from repro.serve.server import ClusteringServer, ServerHandle
+
+__all__ = [
+    "ClusteringServer",
+    "ServerHandle",
+    "ServeClient",
+    "ServerBusy",
+    "ServerError",
+    "MicroBatcher",
+    "BatcherStats",
+    "QueueFull",
+    "ServiceStopping",
+    "LatencyHistogram",
+    "ServerMetrics",
+]

@@ -1,0 +1,212 @@
+"""A small blocking client for the clustering service.
+
+:class:`ServeClient` wraps one keep-alive :class:`http.client.HTTPConnection`
+to a running ``repro serve`` daemon.  It exists for the test suite, the
+load benchmark, and scripts — anything that wants typed errors
+(:class:`ServerBusy` carries the ``Retry-After`` hint) instead of raw
+HTTP plumbing::
+
+    from repro.serve import ServeClient
+
+    with ServeClient("127.0.0.1", 8752) as client:
+        envelope = client.cluster(matrix, config={"num_clusters": 4})
+        labels = envelope["result"]["labels"]
+
+The client is blocking by design (one request in flight per connection)
+and not thread-safe: give each closed-loop load-generator thread its own
+instance.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and decoded payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        message = payload.get("error", "") if isinstance(payload, dict) else ""
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServerBusy(ServerError):
+    """HTTP 429: the admission queue is full; honor :attr:`retry_after`."""
+
+    def __init__(self, status: int, payload: Dict[str, Any], retry_after: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8752, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Dict[str, Any]:
+        last_error: Optional[Exception] = None
+        # One transparent retry: a keep-alive connection the server closed
+        # (drain, restart) surfaces as a stale-socket error on first use.
+        for attempt in range(2):
+            connection = self._connect()
+            try:
+                connection.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"} if body else {},
+                )
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                socket.timeout,
+                OSError,
+            ) as error:
+                self.close()
+                last_error = error
+                if attempt == 1 or isinstance(error, socket.timeout):
+                    raise
+        else:  # pragma: no cover - loop always breaks or raises
+            raise last_error  # type: ignore[misc]
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        status = response.status
+        if status == 429:
+            retry_header = response.getheader("Retry-After")
+            try:
+                retry_after = float(retry_header) if retry_header else 1.0
+            except ValueError:
+                retry_after = 1.0
+            raise ServerBusy(status, payload, retry_after)
+        if status >= 400:
+            raise ServerError(status, payload)
+        return payload
+
+    # -- endpoints ---------------------------------------------------------
+
+    def request(self, method: str, path: str, body: Optional[bytes] = None) -> Dict[str, Any]:
+        """One raw JSON exchange (typed errors included).
+
+        The load benchmark pre-encodes its request body once and replays
+        it through this method — re-serializing a large matrix on every
+        closed-loop iteration would measure ``json.dumps``, not the
+        server.
+        """
+        return self._request(method, path, body)
+
+    def encode_cluster_body(
+        self, matrix: Any, config: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        """The ``POST /cluster`` body for ``matrix`` — reusable across calls."""
+        return json.dumps(
+            {
+                "matrix": np.asarray(matrix, dtype=float).tolist(),
+                "config": config or {},
+            }
+        ).encode("utf-8")
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    def cluster(
+        self,
+        matrix: Any,
+        config: Optional[Dict[str, Any]] = None,
+        *,
+        retries: int = 0,
+        retry_backoff: float = 0.0,
+    ) -> Dict[str, Any]:
+        """POST one clustering job; returns the response envelope.
+
+        ``config`` is a partial :meth:`ClusteringConfig.to_dict` payload
+        overlaid onto the server's default config.  With ``retries``, a
+        429 is retried after the server's ``Retry-After`` hint (or
+        ``retry_backoff`` if larger), which is how a polite closed-loop
+        client behaves under admission control.
+        """
+        body = self.encode_cluster_body(matrix, config)
+        attempts = max(0, int(retries)) + 1
+        for attempt in range(attempts):
+            try:
+                return self._request("POST", "/cluster", body)
+            except ServerBusy as busy:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(max(busy.retry_after, retry_backoff))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def cluster_labels(
+        self, matrix: Any, config: Optional[Dict[str, Any]] = None, **kwargs: Any
+    ) -> np.ndarray:
+        """The flat labels of one served fit, as an integer array."""
+        envelope = self.cluster(matrix, config, **kwargs)
+        labels = envelope["result"]["labels"]
+        if labels is None:
+            raise ServerError(200, {"error": "the served result carries no flat labels"})
+        return np.asarray(labels, dtype=int)
+
+    def wait_healthy(self, timeout: float = 30.0, interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the service answers ``ok`` (startup races)."""
+        deadline = time.perf_counter() + timeout
+        last_error: Optional[Exception] = None
+        while time.perf_counter() < deadline:
+            try:
+                payload = self.healthz()
+                if payload.get("status") == "ok":
+                    return payload
+            except (ServerError, OSError, http.client.HTTPException) as error:
+                last_error = error
+                self.close()
+            time.sleep(interval)
+        raise TimeoutError(
+            f"no healthy repro serve at {self.host}:{self.port} within {timeout}s "
+            f"(last error: {last_error!r})"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,515 @@
+"""The asyncio HTTP/JSON clustering daemon.
+
+:class:`ClusteringServer` is the long-running front of the library: a
+stdlib-only (asyncio streams + :mod:`http`) HTTP/1.1 server that accepts
+clustering requests, funnels them through the
+:class:`~repro.serve.batcher.MicroBatcher` into
+:func:`repro.api.cluster_many`, and runs the fits on a thread pool so the
+event loop never blocks on numerical work.
+
+Routes
+------
+``POST /cluster``
+    Body ``{"matrix": [[...]], "config": {...}}``.  ``config`` is a
+    (possibly partial) :meth:`ClusteringConfig.to_dict` payload overlaid
+    onto the server's default config — the same ``from_dict``/``merged``
+    machinery as ``repro cluster --config``.  Responds 200 with
+    ``{"result": ClusterResult.to_dict(), "serving": {...}}``; 400 on a
+    malformed body; 429 + ``Retry-After`` when the admission queue is
+    full; 503 while draining.
+``GET /healthz``
+    Liveness: status, version, uptime, queue depth.
+``GET /metrics``
+    The full observability document (request/error counters, latency
+    histograms, batching stats, cache hit-rate).
+
+Concurrent identical requests that land in one batch are deduplicated by
+``cluster_many`` before dispatch; requests that arrive after a result was
+computed hit the content-addressed cache.  Either way the served payload
+is byte-identical to the same fit made directly through an estimator.
+
+Shutdown is graceful: SIGTERM/SIGINT stop the accept loop, every already
+admitted request is fitted and answered, then the pool is torn down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from http import HTTPStatus
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import __version__
+from repro.api.batch import cluster_many
+from repro.api.config import ClusteringConfig
+from repro.serve.batcher import (
+    MicroBatcher,
+    QueueFull,
+    ServiceStopping,
+    validate_batching_knobs,
+)
+from repro.serve.metrics import ServerMetrics
+
+#: Hard cap on request bodies (a 2000x2000 float matrix in JSON is ~90 MB;
+#: this bound exists to fail fast on garbage, not to size real inputs).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+_HEADER_LIMIT = 64 * 1024
+
+#: Config fields a request payload may overlay.  These are the algorithmic
+#: knobs; the server-owned resource knobs — ``backend``/``workers`` (per-fit
+#: pools), ``cache``/``cache_dir`` (server-side filesystem) — are set by the
+#: operator via CLI flags and rejected with a 400 when a client sends them.
+REQUEST_CONFIG_FIELDS = frozenset(
+    {
+        "method",
+        "num_clusters",
+        "prefix",
+        "apsp_method",
+        "kernel",
+        "warm_start",
+        "precomputed",
+        "linkage",
+        "seed",
+        "num_restarts",
+        "spectral_neighbors",
+    }
+)
+
+
+class _BadRequest(ValueError):
+    """Client-side error; rendered as HTTP 400 with the message."""
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+class ClusteringServer:
+    """Micro-batching clustering service over HTTP/JSON.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port, published on
+        :attr:`port` once the server is listening.
+    default_config:
+        The :class:`ClusteringConfig` requests overlay their (partial)
+        ``config`` payloads onto.  Defaults to ``ClusteringConfig(cache=
+        True)`` so repeat traffic hits the result cache.
+    max_batch_size / max_wait_ms / max_queue_depth:
+        Micro-batching and admission knobs (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+    fit_workers:
+        Threads fitting batches concurrently (default 2).  Each batch is
+        one ``cluster_many`` call; more workers let distinct batches
+        overlap.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        default_config: Optional[ClusteringConfig] = None,
+        max_batch_size: int = 16,
+        max_wait_ms: float = 10.0,
+        max_queue_depth: int = 256,
+        fit_workers: int = 2,
+    ) -> None:
+        if fit_workers < 1:
+            raise ValueError("fit_workers must be at least 1")
+        # Fail on bad batching knobs here, not inside the event loop, so
+        # the CLI reports them like any other flag error.
+        validate_batching_knobs(max_batch_size, max_wait_ms, max_queue_depth)
+        self.host = host
+        self.port = port  # replaced by the bound port once listening
+        self.default_config = (
+            default_config if default_config is not None else ClusteringConfig(cache=True)
+        )
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.max_queue_depth = max_queue_depth
+        self.fit_workers = fit_workers
+        self.metrics = ServerMetrics()
+        self._batcher: Optional[MicroBatcher] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._connections: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self, *, install_signal_handlers: bool = True, on_ready=None) -> None:
+        """Serve until SIGTERM/SIGINT (blocking; owns its event loop)."""
+        asyncio.run(
+            self.serve(install_signal_handlers=install_signal_handlers, on_ready=on_ready)
+        )
+
+    async def serve(self, *, install_signal_handlers: bool = False, on_ready=None) -> None:
+        """Bind, serve, and drain inside the caller's event loop."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.fit_workers, thread_name_prefix="repro-serve-fit"
+        )
+        self._batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            max_queue_depth=self.max_queue_depth,
+        )
+        self._batcher.start()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=_HEADER_LIMIT
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self.request_stop)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-main thread or platform without signal support
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            # Answer everything already admitted before tearing down.
+            await self._batcher.stop(drain=True)
+            if self._connections:
+                # Handlers mid-response finish within the grace period;
+                # connections idle in readline() (keep-alive clients that
+                # never closed) are cancelled — their requests were all
+                # answered, so nothing is lost.
+                _done, pending = await asyncio.wait(
+                    list(self._connections), timeout=0.5
+                )
+                for connection in pending:
+                    connection.cancel()
+                if pending:
+                    await asyncio.wait(pending, timeout=1.0)
+            self._executor.shutdown(wait=True)
+
+    def request_stop(self) -> None:
+        """Begin a graceful drain (signal handler / cross-thread safe)."""
+        if self._loop is None or self._stop_event is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    def start_in_background(self, timeout: float = 30.0) -> "ServerHandle":
+        """Run the server on a daemon thread; returns once it is listening.
+
+        The tests, the benchmark, and notebook users want a live server
+        without giving up their thread; production deployments should run
+        :meth:`run` as the process's main job instead.
+        """
+        ready = threading.Event()
+        errors: List[BaseException] = []
+
+        def _main() -> None:
+            try:
+                self.run(install_signal_handlers=False, on_ready=lambda _s: ready.set())
+            except BaseException as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+                ready.set()
+
+        thread = threading.Thread(target=_main, name="repro-serve", daemon=True)
+        thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("repro serve did not come up within the timeout")
+        if errors:
+            raise RuntimeError(f"repro serve failed to start: {errors[0]!r}") from errors[0]
+        return ServerHandle(self, thread)
+
+    # -- batching ----------------------------------------------------------
+
+    async def _run_batch(
+        self, config: ClusteringConfig, matrices: List[np.ndarray]
+    ) -> List[Any]:
+        assert self._loop is not None and self._executor is not None
+        return await self._loop.run_in_executor(
+            self._executor, lambda: cluster_many(matrices, config)
+        )
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as error:
+                    writer.write(self._response(HTTPStatus.BAD_REQUEST, {"error": str(error)}))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                start = self._loop.time() if self._loop else 0.0
+                status, payload, extra_headers = await self._route(request)
+                elapsed = (self._loop.time() - start) if self._loop else None
+                self.metrics.record_response(int(status), elapsed)
+                writer.write(
+                    self._response(status, payload, extra_headers, head_only=request.method == "HEAD")
+                )
+                await writer.drain()
+                if not request.keep_alive or self._draining:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_Request]:
+        try:
+            request_line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as error:
+            raise _BadRequest(f"oversized request line: {error}") from error
+        if not request_line:
+            return None  # clean EOF between requests
+        try:
+            method, path, _version = request_line.decode("latin-1").split()
+        except ValueError as error:
+            raise _BadRequest("malformed HTTP request line") from error
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError) as error:
+                raise _BadRequest(f"oversized header line: {error}") from error
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) > 100:
+                raise _BadRequest("too many headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            content_length = int(length_text)
+        except ValueError as error:
+            raise _BadRequest(f"bad Content-Length {length_text!r}") from error
+        if content_length < 0 or content_length > MAX_BODY_BYTES:
+            raise _BadRequest(f"Content-Length {content_length} outside [0, {MAX_BODY_BYTES}]")
+        body = b""
+        if content_length:
+            try:
+                body = await reader.readexactly(content_length)
+            except asyncio.IncompleteReadError as error:
+                raise _BadRequest("request body shorter than Content-Length") from error
+        return _Request(method=method.upper(), path=path, headers=headers, body=body)
+
+    def _response(
+        self,
+        status: HTTPStatus,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+        *,
+        head_only: bool = False,
+    ) -> bytes:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {int(status)} {status.phrase}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Server: repro-serve/{__version__}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head if head_only else head + body
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(
+        self, request: _Request
+    ) -> Tuple[HTTPStatus, Dict[str, Any], Optional[Dict[str, str]]]:
+        path = request.path.split("?", 1)[0]
+        # Bucket unknown methods/paths so hostile or misdirected traffic
+        # cannot grow the metrics dict (and /metrics document) unboundedly.
+        method = request.method if request.method in ("GET", "HEAD", "POST") else "<other>"
+        route = f"{method} {path if path in ('/cluster', '/healthz', '/metrics') else '<other>'}"
+        self.metrics.record_request(route)
+        if path == "/healthz" and request.method in ("GET", "HEAD"):
+            return HTTPStatus.OK, self._healthz_payload(), None
+        if path == "/metrics" and request.method in ("GET", "HEAD"):
+            return HTTPStatus.OK, self._metrics_payload(), None
+        if path == "/cluster":
+            if request.method != "POST":
+                return (
+                    HTTPStatus.METHOD_NOT_ALLOWED,
+                    {"error": "use POST /cluster"},
+                    {"Allow": "POST"},
+                )
+            return await self._handle_cluster(request)
+        return HTTPStatus.NOT_FOUND, {
+            "error": f"no route {request.method} {path[:80]}; "
+            "routes: POST /cluster, GET /healthz, GET /metrics"
+        }, None
+
+    def _healthz_payload(self) -> Dict[str, Any]:
+        assert self._batcher is not None
+        return self.metrics.healthz(
+            queue_depth=self._batcher.queue_depth,
+            draining=self._draining or self._batcher.stopping,
+            version=__version__,
+        )
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        assert self._batcher is not None
+        cache_stats = None
+        if self.default_config.cache:
+            from repro.cache import get_result_cache
+
+            cache_stats = get_result_cache(self.default_config.cache_dir).stats.as_dict()
+        return self.metrics.render(
+            queue_depth=self._batcher.queue_depth,
+            batcher_stats=self._batcher.stats.as_dict(),
+            cache_stats=cache_stats,
+            draining=self._draining or self._batcher.stopping,
+        )
+
+    async def _handle_cluster(
+        self, request: _Request
+    ) -> Tuple[HTTPStatus, Dict[str, Any], Optional[Dict[str, str]]]:
+        assert self._batcher is not None
+        try:
+            matrix, config = self._parse_cluster_body(request.body)
+        except _BadRequest as error:
+            return HTTPStatus.BAD_REQUEST, {"error": str(error)}, None
+        try:
+            future = self._batcher.submit(matrix, config)
+        except QueueFull as error:
+            retry_after = max(1, int(round(self.max_wait_ms / 1000.0)) + 1)
+            return (
+                HTTPStatus.TOO_MANY_REQUESTS,
+                {"error": str(error), "retry_after_seconds": retry_after},
+                {"Retry-After": str(retry_after)},
+            )
+        except ServiceStopping as error:
+            return (
+                HTTPStatus.SERVICE_UNAVAILABLE,
+                {"error": str(error)},
+                {"Connection": "close"},
+            )
+        try:
+            result, info = await future
+        except ServiceStopping as error:
+            return HTTPStatus.SERVICE_UNAVAILABLE, {"error": str(error)}, None
+        except ValueError as error:
+            # Config/data rejected at fit time (e.g. kmeans without
+            # num_clusters): the client's fault, not the server's.
+            return HTTPStatus.BAD_REQUEST, {"error": str(error)}, None
+        except Exception as error:  # noqa: BLE001 - any fit crash -> 500
+            return (
+                HTTPStatus.INTERNAL_SERVER_ERROR,
+                {"error": f"{type(error).__name__}: {error}"},
+                None,
+            )
+        self.metrics.record_served(info["queue_seconds"], info["fit_seconds"])
+        envelope = {
+            # to_dict() is the JSON-safe dict behind to_json(), embedded
+            # directly — no stringify/reparse, so re-serializing it is
+            # byte-identical to a direct estimator fit's to_json().
+            "result": result.to_dict(),
+            "serving": {
+                "batch_size": info["batch_size"],
+                "batch_distinct": info["batch_distinct"],
+                "queue_seconds": round(info["queue_seconds"], 6),
+                "fit_seconds": round(info["fit_seconds"], 6),
+            },
+        }
+        return HTTPStatus.OK, envelope, None
+
+    def _parse_cluster_body(self, body: bytes) -> Tuple[np.ndarray, ClusteringConfig]:
+        if not body:
+            raise _BadRequest('missing request body; expected {"matrix": [[...]], "config": {...}}')
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise _BadRequest(f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        unknown = sorted(set(payload) - {"matrix", "config"})
+        if unknown:
+            raise _BadRequest(f"unknown request keys {unknown}; expected 'matrix' and optional 'config'")
+        if "matrix" not in payload:
+            raise _BadRequest("request is missing 'matrix'")
+        try:
+            matrix = np.asarray(payload["matrix"], dtype=float)
+        except (TypeError, ValueError) as error:
+            raise _BadRequest(f"'matrix' is not numeric: {error}") from error
+        if matrix.ndim != 2 or 0 in matrix.shape:
+            raise _BadRequest(f"'matrix' must be 2-D and non-empty; got shape {matrix.shape}")
+        if not np.all(np.isfinite(matrix)):
+            raise _BadRequest("'matrix' contains NaN or infinite entries")
+        config_payload = payload.get("config", {})
+        if not isinstance(config_payload, dict):
+            raise _BadRequest("'config' must be a JSON object (ClusteringConfig.to_dict payload)")
+        reserved = sorted(set(config_payload) - REQUEST_CONFIG_FIELDS)
+        if reserved:
+            raise _BadRequest(
+                f"config fields {reserved} are operator-controlled (or unknown) and "
+                f"cannot be set per request; allowed: {sorted(REQUEST_CONFIG_FIELDS)}"
+            )
+        try:
+            config = self.default_config.merged(config_payload)
+        except (TypeError, ValueError) as error:
+            raise _BadRequest(f"bad 'config': {error}") from error
+        return matrix, config
+
+
+@dataclass
+class ServerHandle:
+    """A background server plus the thread running it."""
+
+    server: ClusteringServer
+    thread: threading.Thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain gracefully and join the serving thread."""
+        self.server.request_stop()
+        self.thread.join(timeout)
+        if self.thread.is_alive():  # pragma: no cover - drain stuck
+            raise RuntimeError("repro serve did not drain within the timeout")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -321,6 +321,18 @@ class TestClusterResult:
         # the non-serializable tracker is filtered out of the payload
         assert "tracker" not in payload["extras"]
 
+    def test_to_dict_embeds_without_double_encoding(self, small_dataset):
+        # The serving envelope embeds to_dict() directly: it must be the
+        # exact JSON-safe dict behind to_json, so re-serializing it (alone
+        # or inside a larger envelope) is byte-identical — no
+        # stringify-then-reparse round trip anywhere.
+        estimator = make_estimator("tmfg-dbht", num_clusters=3, prefix=2)
+        result = estimator.fit(small_dataset.data).result_
+        payload = result.to_dict()
+        assert json.dumps(payload) == result.to_json()
+        envelope = json.dumps({"result": payload, "serving": {"batch_size": 1}})
+        assert json.dumps(json.loads(envelope)["result"]) == result.to_json()
+
     def test_numpy_scalar_extras_serialize(self, small_dataset):
         # Regression: numpy scalars are not Python-number instances, so
         # np.int64 / np.bool_ / np.float32 extras must get explicit

@@ -384,3 +384,138 @@ class TestCacheConfigValidation:
     def test_cache_knobs_round_trip_through_json(self, tmp_path):
         config = _config(cache_dir=str(tmp_path))
         assert ClusteringConfig.from_json(config.to_json()) == config
+
+
+class TestConcurrentAccess:
+    """N threads hammering one estimator config + the shared ResultCache."""
+
+    def test_threads_hammering_one_estimator_and_cache(self, similarity):
+        import threading
+
+        config = _config()
+        num_threads, rounds = 8, 5
+        barrier = threading.Barrier(num_threads)
+        results, errors = [], []
+
+        def hammer():
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(rounds):
+                    estimator = make_estimator(config.method, config)
+                    estimator.fit(similarity)
+                    results.append(estimator.result_.to_json())
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert len(results) == num_threads * rounds
+        # Every fit (computed or served from cache) agrees on everything
+        # deterministic; only wall-clock timings may differ between the
+        # racing first-round computes.
+        deterministic = {
+            json.dumps(
+                {
+                    key: payload[key]
+                    for key in ("method", "config", "labels", "num_clusters", "extras")
+                }
+            )
+            for payload in map(json.loads, results)
+        }
+        assert len(deterministic) == 1
+        stats = get_result_cache().stats.snapshot()
+        # Counters stay consistent under contention: every lookup was
+        # either a hit or a miss, and misses each stored an entry.
+        assert stats.hits + stats.misses == num_threads * rounds
+        assert stats.stores == stats.misses
+        assert stats.hits >= num_threads * (rounds - 1)
+
+    def test_stats_readers_race_with_writers(self):
+        import threading
+
+        cache = ResultCache(max_entries=16)
+        stop = threading.Event()
+        snapshots, errors = [], []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    payload = cache.stats.as_dict()
+                    # Mid-burst invariants: every store was preceded by its
+                    # miss, and hit_rate is derived from one consistent
+                    # (hits, lookups) pair, never a torn mixture.
+                    assert payload["stores"] <= payload["misses"]
+                    assert 0.0 <= payload["hit_rate"] <= 1.0
+                    expected = (
+                        payload["hits"] / (payload["hits"] + payload["misses"])
+                        if payload["hits"] + payload["misses"]
+                        else 0.0
+                    )
+                    assert payload["hit_rate"] == expected
+                    snapshots.append(payload)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        def writer(seed):
+            try:
+                for i in range(300):
+                    key = f"k{(seed * 7 + i) % 24}"
+                    if cache.get(key) is None:
+                        cache.put(key, i)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer, args=(s,)) for s in range(4)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=60)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=60)
+        assert not errors
+        final = cache.stats.as_dict()
+        assert final["hits"] + final["misses"] == 4 * 300
+        assert final["stores"] == final["misses"]
+        assert snapshots  # the readers actually raced the writers
+
+    def test_cache_stats_pickle_round_trip(self):
+        cache = ResultCache()
+        cache.put("k", 1)
+        cache.get("k")
+        restored = pickle.loads(pickle.dumps(cache.stats.snapshot()))
+        assert restored.hits == 1 and restored.stores == 1
+        # The restored copy grew a fresh lock and stays readable.
+        assert restored.as_dict()["hits"] == 1
+
+
+class TestBatchFrontDoorEdges:
+    def test_cluster_many_empty_returns_immediately(self):
+        assert cluster_many([]) == []
+        # No fingerprinting happened: the shared cache saw no lookups.
+        assert get_result_cache().stats.snapshot().lookups == 0
+
+    def test_cluster_many_empty_skips_backend_construction(self, monkeypatch):
+        import repro.api.batch as batch_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("make_backend should not be called for []")
+
+        monkeypatch.setattr(batch_module, "make_backend", boom)
+        assert cluster_many([], backend="thread") == []
+
+    def test_cluster_many_empty_still_validates_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            cluster_many([], workers=2)
+
+    def test_fit_one_rejects_non_2d_input(self):
+        config = ClusteringConfig()
+        with pytest.raises(ValueError, match="2-D"):
+            fit_one(config, np.arange(8.0))
+        with pytest.raises(ValueError, match="2-D"):
+            fit_one(config, np.zeros((2, 3, 4)))

@@ -459,3 +459,54 @@ class TestFigureCommand:
     def test_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8752
+        assert args.max_batch_size == 16
+        assert args.max_wait_ms == 10.0
+        assert args.max_queue == 256
+        assert args.fit_workers == 2
+        assert args.func.__name__ == "_command_serve"
+
+    def test_serve_rejects_bad_flag_combinations(self, capsys):
+        # The shared config plumbing validates serve flags like any other
+        # subcommand: --workers without a parallel backend is refused.
+        assert main(["serve", "--workers", "3"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_end_to_end_over_http(self, tmp_path):
+        """`repro serve` as a subprocess: healthz, POST, drain on SIGTERM."""
+        import signal
+        import subprocess
+        import sys as _sys
+
+        from repro.serve import ServeClient
+
+        dataset = make_time_series_dataset(24, 24, 2, noise=0.8, seed=4)
+        process = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--clusters", "2", "--prefix", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on http://127.0.0.1:" in banner
+            port = int(banner.split("127.0.0.1:")[1].split()[0].rstrip("/"))
+            with ServeClient(port=port) as client:
+                client.wait_healthy(30)
+                labels = client.cluster_labels(dataset.data)
+                assert labels.shape == (24,)
+                assert len(np.unique(labels)) == 2
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+            assert "drained and stopped" in process.stdout.read()
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.wait(timeout=10)
