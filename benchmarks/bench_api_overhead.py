@@ -96,7 +96,9 @@ def main() -> dict:
         "max_overhead_fraction": MAX_OVERHEAD,
         "identical_labels": bool(np.array_equal(direct_labels, estimator_labels)),
     }
-    print(json.dumps(report, indent=2))
+    import benchlib
+
+    benchlib.write_report("api_overhead.json", report)
     assert report["identical_labels"], "estimator output diverged from tmfg_dbht"
     assert overhead < MAX_OVERHEAD, (
         f"estimator layer adds {overhead:.2%} over direct tmfg_dbht "

@@ -128,7 +128,9 @@ def main() -> dict:
         "num_edges": graph.num_edges,
         "results": results,
     }
-    print(json.dumps(report, indent=2))
+    import benchlib
+
+    benchlib.write_report("apsp_backends.json", report)
     return report
 
 

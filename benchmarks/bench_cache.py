@@ -100,10 +100,9 @@ def main(argv=None) -> dict:
         "labels_match_cold": labels_match,
         "cache_stats": stats.as_dict(),
     }
-    print(json.dumps(report, indent=2))
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2)
+    import benchlib
+
+    benchlib.write_report("cache.json", report, override=args.json)
     assert byte_identical, "warm payloads diverged from the priming call"
     assert labels_match, "warm labels diverged from the cold run"
     assert report["speedup_warm"] >= args.min_speedup, (

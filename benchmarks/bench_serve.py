@@ -232,10 +232,9 @@ def main(argv=None) -> dict:
         "min_speedup": args.min_speedup,
         "byte_identical_to_direct_fit": byte_identical,
     }
-    print(json.dumps(report, indent=2))
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle_:
-            json.dump(report, handle_, indent=2)
+    import benchlib
+
+    benchlib.write_report("serve.json", report, override=args.json)
     assert byte_identical, "served payload diverged from the direct estimator fit"
     assert speedup >= args.min_speedup, (
         f"micro-batching gave only {speedup:.2f}x over batch-size-1 serving "

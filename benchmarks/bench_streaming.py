@@ -108,10 +108,6 @@ def test_cold_streaming(benchmark, returns):
 
 
 if __name__ == "__main__":
-    from pathlib import Path
+    import benchlib
 
-    report = streaming_report()
-    output = Path(__file__).parent / "results" / "streaming.json"
-    output.parent.mkdir(exist_ok=True)
-    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(json.dumps(report, indent=2))
+    benchlib.write_report("streaming.json", streaming_report())

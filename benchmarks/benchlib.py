@@ -1,0 +1,35 @@
+"""Shared output plumbing for the ``bench_*.py`` scripts.
+
+Every benchmark that emits machine-readable output writes it under
+``benchmarks/results/`` through :func:`write_report`, so the sweep/report
+tooling has exactly one directory to look in.  A script's ``--json PATH``
+flag still overrides the destination (pass it as ``override``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def results_path(name: str) -> Path:
+    """``benchmarks/results/<name>`` (creating the directory if needed)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR / name
+
+
+def write_report(name: str, report: dict, override: Optional[str] = None) -> Path:
+    """Write ``report`` as JSON to the results dir (or ``override``).
+
+    Prints the document to stdout as well — the scripts' historical
+    behaviour — and returns the path written.
+    """
+    path = Path(override) if override else results_path(name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(report, indent=2)
+    path.write_text(text + "\n", encoding="utf-8")
+    print(text)
+    return path

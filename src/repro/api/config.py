@@ -33,7 +33,11 @@ from typing import Any, Dict, Optional
 from repro.parallel.kernels import resolve_kernel_name
 from repro.parallel.scheduler import BACKEND_NAMES, ParallelBackend, make_backend
 
-APSP_METHODS = ("dijkstra", "floyd", "scipy")
+#: The built-in APSP methods; kept for documentation and backwards
+#: compatibility.  Validation resolves against the *live* registry
+#: (:func:`repro.graph.shortest_paths.available_apsp_methods`), so custom
+#: methods registered with ``register_apsp_method`` are accepted too.
+APSP_METHODS = ("dijkstra", "floyd", "scipy", "incremental", "landmark")
 LINKAGE_NAMES = ("single", "complete", "average", "weighted")
 
 DEFAULT_METHOD = "tmfg-dbht"
@@ -58,9 +62,17 @@ class ClusteringConfig:
     prefix:
         TMFG prefix batch size (``1`` = exact sequential TMFG).
     apsp_method:
-        APSP implementation for the DBHT: ``"dijkstra"``, ``"floyd"``, or
-        ``"scipy"`` (identical distances; see
-        :func:`repro.graph.shortest_paths.all_pairs_shortest_paths`).
+        APSP implementation for the DBHT, resolved against the live method
+        registry (:func:`repro.graph.shortest_paths.available_apsp_methods`).
+        ``"dijkstra"``/``"floyd"``/``"scipy"`` give identical distances;
+        ``"incremental"`` is exact and reuses state across streaming ticks;
+        ``"landmark"`` is the opt-in approximate mode — it never engages
+        unless selected here.
+    landmarks:
+        Landmark count for ``apsp_method="landmark"`` (``None`` = the
+        method's default, currently 32).  Rejected for any other
+        ``apsp_method``.  Part of the cache fingerprint, so approximate
+        results can never collide with exact cache entries.
     kernel:
         Hot-loop kernel name (``"python"``/``"numpy"``/any registered
         custom kernel); ``None`` uses the process-wide default.
@@ -103,6 +115,7 @@ class ClusteringConfig:
     num_clusters: Optional[int] = None
     prefix: int = 1
     apsp_method: str = "dijkstra"
+    landmarks: Optional[int] = None
     kernel: Optional[str] = None
     backend: Optional[str] = None
     workers: Optional[int] = None
@@ -122,10 +135,21 @@ class ClusteringConfig:
             raise ValueError("num_clusters must be at least 1 (or None)")
         if self.prefix < 1:
             raise ValueError("prefix must be at least 1")
-        if self.apsp_method not in APSP_METHODS:
+        from repro.graph.shortest_paths import available_apsp_methods
+
+        valid_methods = available_apsp_methods()
+        if self.apsp_method not in valid_methods:
             raise ValueError(
-                f"unknown apsp_method {self.apsp_method!r}; expected one of {APSP_METHODS}"
+                f"unknown apsp_method {self.apsp_method!r}; expected one of {valid_methods}"
             )
+        if self.landmarks is not None:
+            if self.apsp_method != "landmark":
+                raise ValueError(
+                    "landmarks is set but apsp_method is "
+                    f"{self.apsp_method!r}; it only applies to apsp_method='landmark'"
+                )
+            if self.landmarks < 2:
+                raise ValueError("landmarks must be at least 2")
         if self.kernel is not None:
             resolve_kernel_name(self.kernel)
         if self.backend is not None and self.backend not in BACKEND_NAMES:

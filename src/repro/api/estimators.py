@@ -112,13 +112,19 @@ class ClusteringEstimator:
         on ``result_`` and skips the computation entirely.  Fits carrying
         warm-start hints bypass the cache: their outputs are identical by
         construction, but their replay telemetry is tick-specific and must
-        not be served for unrelated inputs.
+        not be served for unrelated inputs.  Fits carrying an incremental
+        APSP engine (``apsp_state``) bypass it too — serving a stored
+        result would leave the carried engine stale for the next tick.
         """
         # Drop the previous fit up front so a failed refit can never serve
         # stale labels.
         self.result_ = None
         cache = cache_key = None
-        if self.config.cache and fit_params.get("warm_start") is None:
+        if (
+            self.config.cache
+            and fit_params.get("warm_start") is None
+            and fit_params.get("apsp_state") is None
+        ):
             from repro.cache import get_result_cache, result_cache_key
 
             # Key on the same float view the pipeline will cluster, so
@@ -216,7 +222,7 @@ class TMFGClusterer(ClusteringEstimator):
 
     method_id = "tmfg-dbht"
 
-    def _fit(self, data, similarity, dissimilarity, backend, warm_start=None):
+    def _fit(self, data, similarity, dissimilarity, backend, warm_start=None, apsp_state=None):
         from repro.core.pipeline import tmfg_dbht
 
         pipeline = tmfg_dbht(
@@ -227,6 +233,8 @@ class TMFGClusterer(ClusteringEstimator):
             apsp_method=self.config.apsp_method,
             kernel=self.config.kernel,
             warm_start=warm_start,
+            apsp_state=apsp_state,
+            landmarks=self.config.landmarks,
         )
         result = ClusterResult(
             method=self.method_id,

@@ -55,6 +55,7 @@ from repro.dendrogram.export import to_newick
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_stream_ticks, format_table
+from repro.graph.shortest_paths import available_apsp_methods
 from repro.parallel.kernels import KERNEL_NAMES
 from repro.parallel.scheduler import BACKEND_NAMES
 from repro.streaming.runner import StreamingPipeline
@@ -97,6 +98,8 @@ def _load_matrix(path: str) -> np.ndarray:
 _FLAG_SPELLINGS = (
     ("num_clusters", "--clusters"),
     ("cache_dir", "--cache-dir"),
+    ("apsp_method", "--apsp-method"),
+    ("landmarks", "--landmarks"),
     ("workers", "--workers"),
     ("backend", "--backend"),
     ("kernel", "--kernel"),
@@ -146,6 +149,10 @@ def _config_from_args(args: argparse.Namespace, default: ClusteringConfig) -> Cl
         changes["prefix"] = args.prefix
     if getattr(args, "kernel", None) is not None:
         changes["kernel"] = args.kernel
+    if getattr(args, "apsp_method", None) is not None:
+        changes["apsp_method"] = args.apsp_method
+    if getattr(args, "landmarks", None) is not None:
+        changes["landmarks"] = args.landmarks
     if getattr(args, "backend", None) is not None:
         changes["backend"] = args.backend
     if getattr(args, "workers", None) is not None:
@@ -256,6 +263,8 @@ def _command_stream(args: argparse.Namespace) -> int:
     summary = f"ticks: {result.num_ticks}  mean tick: {result.mean_tick_seconds():.4f}s"
     if result.reused_ticks:
         summary += f"  reused (unchanged window): {result.reused_ticks}"
+    if result.apsp_stats is not None:
+        summary += f"  apsp row reuse: {result.apsp_stats['reuse_rate']:.1%}"
     if config.warm_start:
         summary += (
             f"  warm replay: {stats.round_replay_rate:.1%} of rounds "
@@ -294,6 +303,7 @@ def _command_stream(args: argparse.Namespace) -> int:
             "mean_step_seconds": result.mean_step_seconds(),
             "warm_full_replay_rate": stats.full_replay_rate,
             "warm_round_replay_rate": stats.round_replay_rate,
+            "apsp_stats": result.apsp_stats,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -374,6 +384,22 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         choices=KERNEL_NAMES,
         default=None,
         help="hot-loop kernel for gains/APSP (default: numpy; identical results)",
+    )
+    parser.add_argument(
+        "--apsp-method",
+        dest="apsp_method",
+        choices=available_apsp_methods(),
+        default=None,
+        help=(
+            "APSP implementation for the DBHT (default: dijkstra; "
+            "'landmark' is approximate and strictly opt-in)"
+        ),
+    )
+    parser.add_argument(
+        "--landmarks",
+        type=int,
+        default=None,
+        help="landmark count for --apsp-method landmark (default 32)",
     )
     parser.add_argument(
         "--backend",

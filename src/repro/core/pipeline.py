@@ -60,6 +60,8 @@ def tmfg_dbht(
     apsp_method: str = "dijkstra",
     kernel: Optional[str] = None,
     warm_start: Optional[WarmStartHints] = None,
+    apsp_state=None,
+    landmarks: Optional[int] = None,
 ) -> PipelineResult:
     """Hierarchical clustering with a TMFG filtered graph and the DBHT.
 
@@ -79,10 +81,10 @@ def tmfg_dbht(
     tracker:
         Optional :class:`WorkSpanTracker` collecting work/span per phase.
     apsp_method:
-        APSP implementation used by the DBHT: ``"dijkstra"`` (default, the
-        paper's algorithm run as batched CSR kernels), ``"floyd"``
-        (vectorised Floyd-Warshall), or ``"scipy"`` (C implementation, same
-        result).
+        APSP implementation used by the DBHT: any registered method id
+        (``"dijkstra"`` default, ``"floyd"``, ``"scipy"``,
+        ``"incremental"``, ``"landmark"``); see
+        :func:`repro.graph.shortest_paths.all_pairs_shortest_paths`.
     kernel:
         ``"python"`` or ``"numpy"`` hot-loop kernels for the gain updates
         and the APSP (see :mod:`repro.parallel.kernels`); ``None`` uses the
@@ -92,6 +94,12 @@ def tmfg_dbht(
         build on a similar matrix (the streaming workload's previous tick).
         Every replayed insertion is verified, so the result is identical to
         a cold run; rejected hints fall back to a cold build.
+    apsp_state:
+        Carried :class:`~repro.graph.incremental_apsp.IncrementalAPSP`
+        engine for ``apsp_method="incremental"`` (the streaming runner owns
+        one per stream).
+    landmarks:
+        Landmark count for ``apsp_method="landmark"``.
 
     Returns
     -------
@@ -125,6 +133,8 @@ def tmfg_dbht(
         backend=backend,
         apsp_method=apsp_method,
         kernel=kernel,
+        apsp_state=apsp_state,
+        landmarks=landmarks,
     )
     step_seconds = {"tmfg": tmfg_seconds}
     step_seconds.update(dbht_result.step_seconds)

@@ -87,6 +87,20 @@ class TMFGResult:
             round_sizes=tuple(self.round_sizes),
         )
 
+    def csr(self):
+        """The filtered graph frozen to CSR form, built once and memoized.
+
+        DBHT reweights this topology with dissimilarities for the APSP; the
+        incremental engine diffs consecutive ticks' reweighted CSRs, so
+        freezing here keeps the per-tick cost at one fancy index instead of
+        a full rebuild.
+        """
+        cached = getattr(self, "_csr_cache", None)
+        if cached is None:
+            cached = self.graph.to_csr()
+            self._csr_cache = cached
+        return cached
+
 
 @dataclass(frozen=True)
 class WarmStartHints:

@@ -8,8 +8,10 @@ system depends on:
 * an adjacency-list weighted graph for construction
   (:mod:`repro.graph.weighted_graph`) and its frozen CSR form for
   vectorised consumption (:mod:`repro.graph.csr`),
-* Dijkstra single-source and batched CSR all-pairs shortest paths
-  (:mod:`repro.graph.shortest_paths`),
+* Dijkstra single-source and batched CSR all-pairs shortest paths behind a
+  pluggable method registry (:mod:`repro.graph.shortest_paths`),
+* exact incremental APSP carried across streaming ticks
+  (:mod:`repro.graph.incremental_apsp`),
 * breadth-first search and connected components
   (:mod:`repro.graph.traversal`),
 * a from-scratch Left-Right planarity test used by the PMFG baseline
@@ -25,10 +27,14 @@ from repro.graph.matrix import (
     validate_dissimilarity_matrix,
     validate_similarity_matrix,
 )
+from repro.graph.incremental_apsp import IncrementalAPSP, IncrementalStats
 from repro.graph.planarity import is_planar
 from repro.graph.shortest_paths import (
     all_pairs_shortest_paths,
+    available_apsp_methods,
     dijkstra,
+    register_apsp_method,
+    select_landmarks,
     shortest_paths_from_sources,
 )
 from repro.graph.traversal import bfs_order, connected_components
@@ -42,8 +48,13 @@ __all__ = [
     "validate_dissimilarity_matrix",
     "validate_similarity_matrix",
     "is_planar",
+    "IncrementalAPSP",
+    "IncrementalStats",
     "all_pairs_shortest_paths",
+    "available_apsp_methods",
     "dijkstra",
+    "register_apsp_method",
+    "select_landmarks",
     "shortest_paths_from_sources",
     "bfs_order",
     "connected_components",

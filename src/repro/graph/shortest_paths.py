@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import heapq
 from functools import partial
-from typing import Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from repro.parallel.kernels import get_kernel, register_kernel, resolve_kernel_n
 from repro.parallel.scheduler import ParallelBackend, get_backend, make_backend
 
 GraphLike = Union[WeightedGraph, CSRGraph]
+
+#: Landmark count used by ``apsp_method="landmark"`` when none is configured.
+DEFAULT_LANDMARKS = 32
 
 #: Sources relaxed together by the numpy kernel.  The round's working set is
 #: ``arcs x block`` floats; a narrow block keeps it inside the CPU cache,
@@ -87,15 +90,47 @@ def dijkstra(graph: GraphLike, source: int) -> np.ndarray:
     return distances
 
 
+#: Registered APSP implementations, keyed by the ``method`` string callers
+#: (and ``ClusteringConfig.apsp_method``) select with.  Each entry is called
+#: as ``fn(graph, backend=..., kernel=..., **options)`` and returns the
+#: ``n x n`` distance matrix.
+_APSP_DISPATCH: Dict[str, Callable[..., np.ndarray]] = {}
+
+
+def register_apsp_method(
+    name: str, fn: Callable[..., np.ndarray], replace: bool = False
+) -> None:
+    """Register an APSP implementation under ``method=name``.
+
+    The config layer validates ``apsp_method`` against this registry, so a
+    method registered here is immediately usable from
+    :class:`~repro.api.config.ClusteringConfig`, the CLI, and the server.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("APSP method name must be a non-empty string")
+    if name in _APSP_DISPATCH and not replace:
+        raise ValueError(f"APSP method {name!r} is already registered")
+    if not callable(fn):
+        raise TypeError(f"APSP method {name!r} must be callable")
+    _APSP_DISPATCH[name] = fn
+
+
+def available_apsp_methods() -> tuple:
+    """Sorted ids of every registered APSP method."""
+    return tuple(sorted(_APSP_DISPATCH))
+
+
 def all_pairs_shortest_paths(
     graph: GraphLike,
     backend: Optional[Union[ParallelBackend, str]] = None,
     method: str = "dijkstra",
     kernel: Optional[str] = None,
+    **options,
 ) -> np.ndarray:
     """All-pairs shortest path distance matrix of a sparse graph.
 
-    ``method`` selects the algorithm:
+    ``method`` selects the algorithm from the registry
+    (:func:`register_apsp_method`); the built-ins:
 
     * ``"dijkstra"`` (default) — one Dijkstra per source, the algorithm the
       paper's implementation uses, run as batched CSR kernels with the
@@ -111,21 +146,28 @@ def all_pairs_shortest_paths(
       becomes the bottleneck of PAR-TDBHT and that a faster APSP would
       directly improve the end-to-end time; this quantifies that head-room
       (see ``benchmarks/bench_apsp_backends.py``).
+    * ``"incremental"`` — exact distances repaired from a carried
+      :class:`~repro.graph.incremental_apsp.IncrementalAPSP` engine passed
+      as ``state=``; byte-identical to ``"dijkstra"`` on every call, cheap
+      when little changed since the previous one.  Without ``state`` it IS
+      a cold ``"dijkstra"`` run.
+    * ``"landmark"`` — opt-in approximate upper bounds from ``landmarks=``
+      exact SSSP rows (farthest-point-sampled pivots); see
+      :func:`_landmark_apsp` for the error model.
+
+    Extra keyword ``options`` are forwarded to the selected method.
     """
     n = graph.num_vertices
     if n == 0:
         return np.zeros((0, 0))
-    if method == "scipy":
-        return _scipy_apsp(graph)
-    if method == "floyd":
-        csr = _as_csr(graph)
-        csr.validate_non_negative()
-        return _floyd_warshall(csr)
-    if method != "dijkstra":
+    try:
+        fn = _APSP_DISPATCH[method]
+    except KeyError:
+        valid = ", ".join(repr(name) for name in available_apsp_methods())
         raise ValueError(
-            f"unknown APSP method {method!r}; expected 'dijkstra', 'floyd', or 'scipy'"
-        )
-    return _batched_sssp(_as_csr(graph), np.arange(n), backend, kernel)
+            f"unknown APSP method {method!r}; expected one of: {valid}"
+        ) from None
+    return fn(graph, backend=backend, kernel=kernel, **options)
 
 
 def shortest_paths_from_sources(
@@ -302,3 +344,113 @@ def _scipy_apsp(graph: GraphLike) -> np.ndarray:
         (np.maximum(csr.weights, 1e-12), csr.indices, csr.indptr), shape=(n, n)
     )
     return shortest_path(sparse, method="D", directed=False)
+
+
+# ---------------------------------------------------------------------------
+# Method registry entries
+# ---------------------------------------------------------------------------
+
+
+def _dijkstra_apsp(graph: GraphLike, backend=None, kernel=None) -> np.ndarray:
+    csr = _as_csr(graph)
+    return _batched_sssp(csr, np.arange(csr.num_vertices), backend, kernel)
+
+
+def _floyd_apsp(graph: GraphLike, backend=None, kernel=None) -> np.ndarray:
+    csr = _as_csr(graph)
+    csr.validate_non_negative()
+    return _floyd_warshall(csr)
+
+
+def _scipy_apsp_method(graph: GraphLike, backend=None, kernel=None) -> np.ndarray:
+    return _scipy_apsp(graph)
+
+
+def _incremental_apsp_method(
+    graph: GraphLike, backend=None, kernel=None, state=None
+) -> np.ndarray:
+    """Exact APSP repaired from a carried engine (cold dijkstra without one)."""
+    if state is None:
+        return _dijkstra_apsp(graph, backend=backend, kernel=kernel)
+    from repro.graph.incremental_apsp import IncrementalAPSP
+
+    if not isinstance(state, IncrementalAPSP):
+        raise TypeError(
+            "state for apsp_method='incremental' must be an IncrementalAPSP "
+            f"engine, got {type(state).__name__}"
+        )
+    return state.update(graph, backend=backend, kernel=kernel)
+
+
+def select_landmarks(
+    graph: GraphLike, count: int, kernel: Optional[str] = None
+) -> tuple:
+    """Deterministic farthest-point landmark selection.
+
+    Returns ``(landmark ids, their exact SSSP rows)``.  The first landmark
+    is the maximum-degree vertex (the TMFG's dominant hub — ties break to
+    the lowest id); each subsequent one maximises the distance to the
+    already-chosen set.  The sequence is *nested*: the first ``k`` landmarks
+    of a ``count=k+1`` run are exactly the ``count=k`` run's, so estimates
+    improve pointwise monotonically as ``count`` grows.
+    """
+    csr = _as_csr(graph)
+    csr.validate_non_negative()
+    n = csr.num_vertices
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"landmark count must be >= 1, got {count}")
+    count = min(count, n)
+    kernel_name = resolve_kernel_name(kernel, "apsp")
+    sssp = get_kernel("apsp", kernel_name)
+    chosen = [int(np.argmax(csr.degrees()))]
+    rows = [sssp(csr.indptr, csr.indices, csr.weights, [chosen[0]])[0]]
+    nearest = rows[0].copy()
+    while len(chosen) < count:
+        nearest[chosen] = -np.inf
+        # An inf entry is an unreached component; argmax lands there first,
+        # giving every component a landmark before refining within one.
+        pivot = int(np.argmax(nearest))
+        chosen.append(pivot)
+        row = sssp(csr.indptr, csr.indices, csr.weights, [pivot])[0]
+        rows.append(row)
+        np.minimum(nearest, row, out=nearest)
+    return tuple(chosen), np.vstack(rows)
+
+
+def _landmark_apsp(
+    graph: GraphLike, backend=None, kernel=None, landmarks: Optional[int] = None
+) -> np.ndarray:
+    """Approximate APSP from ``landmarks`` exact SSSP rows (opt-in only).
+
+    Runs one exact SSSP per landmark and estimates
+    ``d(u, v) ~= min_l d(l, u) + d(l, v)`` — an upper bound that is exact
+    whenever some shortest path passes a landmark, clamped by direct edge
+    weights so adjacent pairs are never overestimated.  Cost is
+    ``O(L * n log n + L * n^2)`` against Dijkstra's ``O(n^2 log n)``; the
+    bound tightens monotonically with ``L`` (nested landmark sequence) and
+    becomes exact at ``L >= n``.
+    """
+    csr = _as_csr(graph)
+    n = csr.num_vertices
+    count = DEFAULT_LANDMARKS if landmarks is None else int(landmarks)
+    if count < 1:
+        raise ValueError(f"landmark count must be >= 1, got {count}")
+    if count >= n:
+        return _dijkstra_apsp(csr, backend=backend, kernel=kernel)
+    _, rows = select_landmarks(csr, count, kernel=kernel)
+    estimate = np.full((n, n), np.inf, dtype=float)
+    for row in rows:
+        np.minimum(estimate, np.add.outer(row, row), out=estimate)
+    # Direct edges beat any over-the-landmark detour for adjacent pairs.
+    heads = np.repeat(np.arange(n, dtype=np.int64), csr.degrees())
+    np.minimum.at(estimate, (heads, csr.indices), csr.weights)
+    np.fill_diagonal(estimate, 0.0)
+    return estimate
+
+
+register_apsp_method("dijkstra", _dijkstra_apsp)
+register_apsp_method("floyd", _floyd_apsp)
+register_apsp_method("scipy", _scipy_apsp_method)
+register_apsp_method("incremental", _incremental_apsp_method)
+register_apsp_method("landmark", _landmark_apsp)

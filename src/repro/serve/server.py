@@ -71,6 +71,7 @@ REQUEST_CONFIG_FIELDS = frozenset(
         "num_clusters",
         "prefix",
         "apsp_method",
+        "landmarks",
         "kernel",
         "warm_start",
         "precomputed",

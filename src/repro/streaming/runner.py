@@ -112,6 +112,9 @@ class StreamingResult:
     num_clusters: int
     warm: bool
     warm_stats: WarmStartStats = field(default_factory=WarmStartStats)
+    #: Row-reuse counters of the per-stream incremental APSP engine
+    #: (``None`` unless ``config.apsp_method == "incremental"``).
+    apsp_stats: Optional[Dict[str, float]] = None
 
     @property
     def num_ticks(self) -> int:
@@ -286,6 +289,16 @@ class StreamingPipeline:
         )
         starter = TMFGWarmStarter(enabled=self.warm)
         self._warm_stats = starter.stats
+        # One incremental-APSP engine per stream: each tick's DBHT repairs
+        # the previous tick's distance matrix instead of recomputing it.
+        # Exactness is unconditional (row repair is byte-identical to cold
+        # dijkstra), so this composes with warm starts and the short-circuit.
+        apsp_engine = None
+        if self.config.apsp_method == "incremental":
+            from repro.graph.incremental_apsp import IncrementalAPSP
+
+            apsp_engine = IncrementalAPSP()
+        self._apsp_engine = apsp_engine
         # One backend for the whole stream: an injected pool is reused as-is;
         # a config-named pool is opened here once and closed when the
         # generator finishes (estimators never open per-tick pools).
@@ -347,7 +360,10 @@ class StreamingPipeline:
                     rounds = previous_tick.rounds
                     step_seconds = {"similarity": similarity_seconds}
                 else:
-                    result = estimator.fit(similarity, warm_start=starter.hints()).result_
+                    fit_params = {"warm_start": starter.hints()}
+                    if apsp_engine is not None:
+                        fit_params["apsp_state"] = apsp_engine
+                    result = estimator.fit(similarity, **fit_params).result_
                     pipeline = result.raw
                     starter.update(pipeline.tmfg)
                     labels = result.labels
@@ -389,6 +405,7 @@ class StreamingPipeline:
     def run(self) -> StreamingResult:
         """Run every tick and return the collected :class:`StreamingResult`."""
         ticks = list(self.iter_ticks())
+        engine = getattr(self, "_apsp_engine", None)
         return StreamingResult(
             ticks=ticks,
             window=self.window,
@@ -396,4 +413,5 @@ class StreamingPipeline:
             num_clusters=self.num_clusters,
             warm=self.warm,
             warm_stats=self._warm_stats,
+            apsp_stats=engine.stats.as_dict() if engine is not None else None,
         )

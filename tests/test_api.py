@@ -46,11 +46,34 @@ class TestClusteringConfig:
             {"num_restarts": 0},
             {"spectral_neighbors": 0},
             {"method": ""},
+            {"landmarks": 8},  # landmarks without apsp_method="landmark"
+            {"apsp_method": "landmark", "landmarks": 1},
         ],
     )
     def test_invalid_values_rejected(self, changes):
         with pytest.raises(ValueError):
             ClusteringConfig(**changes)
+
+    def test_apsp_method_resolves_against_live_registry(self):
+        """Registered custom APSP methods validate; the error lists live ids."""
+        from repro.graph.shortest_paths import _APSP_DISPATCH, register_apsp_method
+
+        with pytest.raises(ValueError) as excinfo:
+            ClusteringConfig(apsp_method="my-custom-apsp")
+        for name in ("dijkstra", "incremental", "landmark"):
+            assert name in str(excinfo.value)
+        register_apsp_method("my-custom-apsp", lambda g, backend=None, kernel=None: None)
+        try:
+            assert ClusteringConfig(apsp_method="my-custom-apsp").apsp_method == (
+                "my-custom-apsp"
+            )
+        finally:
+            _APSP_DISPATCH.pop("my-custom-apsp", None)
+
+    def test_landmark_knob_validates(self):
+        config = ClusteringConfig(apsp_method="landmark", landmarks=16)
+        assert config.landmarks == 16
+        assert ClusteringConfig(apsp_method="landmark").landmarks is None
 
     def test_frozen(self):
         config = ClusteringConfig()

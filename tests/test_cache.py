@@ -86,6 +86,24 @@ class TestFingerprints:
             _config(num_clusters=4)
         )
 
+    def test_apsp_method_fingerprints_never_collide(self):
+        """Approximate results must never be served for exact cache keys.
+
+        Configs differing only in ``apsp_method`` — and, within landmark
+        mode, only in the landmark count — must all fingerprint apart.
+        """
+        configs = [
+            _config(),
+            _config(apsp_method="floyd"),
+            _config(apsp_method="scipy"),
+            _config(apsp_method="incremental"),
+            _config(apsp_method="landmark"),
+            _config(apsp_method="landmark", landmarks=8),
+            _config(apsp_method="landmark", landmarks=16),
+        ]
+        fingerprints = [config_fingerprint(config) for config in configs]
+        assert len(set(fingerprints)) == len(configs)
+
     def test_result_cache_key_covers_explicit_dissimilarity(self, similarity):
         config = _config()
         dis = np.sqrt(np.clip(2.0 * (1.0 - similarity), 0.0, None))
