@@ -17,10 +17,20 @@ batching queue exists for.  Two server configurations are measured:
 Reports RPS and p50/p95/p99 latency per mode as one JSON document and
 asserts the acceptance bound (batched ≥ ``--min-speedup``x unbatched
 throughput, default 3x), plus byte-identity of a served result against
-the same fit made directly through ``TMFGClusterer``::
+the same fit made directly through ``TMFGClusterer``.
+
+A second section compares the two matrix transports — JSON float lists vs
+the raw ``application/x-repro-matrix`` wire frames — at each
+``--transport-sizes`` asset count (default 200 and 1000).  The server
+caches, so after one warm-up fit every request is transport-bound: what is
+measured is encode + socket + decode + fingerprint, which is exactly the
+tax the binary format removes.  The binary/JSON RPS ratio at the largest
+size is gated by ``--min-binary-speedup`` (default 1.5x), and the two
+transports' ``result`` payloads are asserted byte-identical::
 
     PYTHONPATH=src python benchmarks/bench_serve.py
     PYTHONPATH=src python benchmarks/bench_serve.py --assets 80 --clients 8 --requests 12 --json out.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --binary   # batched-vs-unbatched loop over binary bodies
 """
 
 from __future__ import annotations
@@ -29,21 +39,30 @@ import argparse
 import json
 import threading
 import time
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.api import ClusteringConfig, TMFGClusterer
 from repro.cache import clear_result_caches
 from repro.datasets.synthetic import make_time_series_dataset
-from repro.serve import ClusteringServer, ServeClient, ServerBusy
+from repro.serve import WIRE_CONTENT_TYPE, ClusteringServer, ServeClient, ServerBusy
 
 DEFAULT_ASSETS = 120
 DEFAULT_CLIENTS = 8
 DEFAULT_REQUESTS = 10  # per client
 DEFAULT_MIN_SPEEDUP = 3.0
+DEFAULT_TRANSPORT_SIZES = "200,1000"
+DEFAULT_MIN_BINARY_SPEEDUP = 1.5
 NUM_CLUSTERS = 4
 PREFIX = 10
+
+#: Request headers that ship and request the binary transport.
+BINARY_HEADERS = {"Content-Type": WIRE_CONTENT_TYPE, "Accept": WIRE_CONTENT_TYPE}
+
+#: The transport comparison's per-request config: a cheap method, so the
+#: (cached) fit never dominates what is being measured — the transport.
+TRANSPORT_CONFIG = {"method": "kmeans", "num_clusters": NUM_CLUSTERS, "seed": 0}
 
 
 def _series(num_assets: int, seed: int = 42) -> np.ndarray:
@@ -62,13 +81,14 @@ def _percentile(sorted_ms: List[float], q: float) -> float:
 def _drive(
     host: str,
     port: int,
-    matrix: np.ndarray,
-    config: Dict[str, Any],
+    body: bytes,
+    headers: Optional[Dict[str, str]],
     clients: int,
     requests_per_client: int,
 ) -> Dict[str, Any]:
     """Closed-loop load: each client thread sends its next request only
-    after the previous response arrives."""
+    after the previous response arrives.  ``body`` is pre-encoded (JSON or
+    binary) so the loop measures the server, not per-iteration encoding."""
     latencies_ms: List[float] = []
     errors: List[BaseException] = []
     lock = threading.Lock()
@@ -78,15 +98,12 @@ def _drive(
         local: List[float] = []
         try:
             with ServeClient(host, port, timeout=300.0) as client:
-                # Encode once: replaying the bytes keeps the loop measuring
-                # the server, not per-iteration json.dumps of the matrix.
-                body = client.encode_cluster_body(matrix, config)
                 barrier.wait(timeout=60)
                 for _ in range(requests_per_client):
                     start = time.perf_counter()
                     while True:
                         try:
-                            client.request("POST", "/cluster", body)
+                            client.request("POST", "/cluster", body, headers)
                             break
                         except ServerBusy as busy:
                             time.sleep(max(busy.retry_after, 0.05))
@@ -129,6 +146,7 @@ def _measure(
     clients: int,
     requests_per_client: int,
     server_kwargs: Dict[str, Any],
+    binary: bool = False,
 ) -> Dict[str, Any]:
     clear_result_caches()
     server = ClusteringServer(port=0, **server_kwargs)
@@ -136,17 +154,89 @@ def _measure(
     try:
         with ServeClient(handle.host, handle.port) as warmup:
             warmup.wait_healthy(30)
-            warmup.cluster(matrix, config=request_config)  # JIT/warm-up fit
+            warmup.cluster(matrix, config=request_config, binary=binary)  # JIT/warm-up fit
+            if binary:
+                body = warmup.encode_cluster_body_binary(matrix, request_config)
+                headers: Optional[Dict[str, str]] = dict(BINARY_HEADERS)
+            else:
+                body = warmup.encode_cluster_body(matrix, request_config)
+                headers = None
         report = _drive(
-            handle.host, handle.port, matrix, request_config, clients, requests_per_client
+            handle.host, handle.port, body, headers, clients, requests_per_client
         )
         with ServeClient(handle.host, handle.port) as scrape:
             metrics = scrape.metrics()
         report["batching"] = metrics["batching"]
         report["mode"] = mode
+        report["transport"] = "binary" if binary else "json"
         return report
     finally:
         handle.stop()
+
+
+def _measure_transports(
+    sizes: List[int],
+    clients: int,
+    requests_per_client: int,
+) -> List[Dict[str, Any]]:
+    """JSON-vs-binary closed-loop RPS/latency at each asset count.
+
+    One server per size with the result cache ON: the first request per
+    transport warms the cache (both transports fingerprint to the *same*
+    entry), after which every request pays only encode + HTTP + decode +
+    fingerprint — the path the binary format exists to shrink.
+    """
+    rows: List[Dict[str, Any]] = []
+    for num_assets in sizes:
+        matrix = _series(num_assets)
+        clear_result_caches()
+        server = ClusteringServer(
+            port=0,
+            default_config=ClusteringConfig(cache=True),
+            max_batch_size=clients,
+            max_wait_ms=2.0,
+            fit_workers=2,
+        )
+        handle = server.start_in_background()
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                client.wait_healthy(30)
+                envelope_json = client.cluster(matrix, config=TRANSPORT_CONFIG)
+                envelope_binary = client.cluster(matrix, config=TRANSPORT_CONFIG, binary=True)
+                # The serving stats are per-request timings; the result
+                # payload is the contract and must not depend on transport.
+                result_identical = json.dumps(envelope_json["result"]) == json.dumps(
+                    envelope_binary["result"]
+                )
+                json_body = client.encode_cluster_body(matrix, TRANSPORT_CONFIG)
+                binary_body = client.encode_cluster_body_binary(matrix, TRANSPORT_CONFIG)
+            json_stats = _drive(
+                handle.host, handle.port, json_body, None, clients, requests_per_client
+            )
+            binary_stats = _drive(
+                handle.host, handle.port, binary_body, dict(BINARY_HEADERS),
+                clients, requests_per_client,
+            )
+        finally:
+            handle.stop()
+        rows.append(
+            {
+                "num_assets": num_assets,
+                "request_config": TRANSPORT_CONFIG,
+                "json_body_bytes": len(json_body),
+                "binary_body_bytes": len(binary_body),
+                "body_bloat": round(len(json_body) / len(binary_body), 2),
+                "json": json_stats,
+                "binary": binary_stats,
+                "binary_speedup_rps": (
+                    round(binary_stats["rps"] / json_stats["rps"], 2)
+                    if json_stats["rps"] > 0
+                    else float("inf")
+                ),
+                "result_byte_identical": result_identical,
+            }
+        )
+    return rows
 
 
 def main(argv=None) -> dict:
@@ -163,6 +253,16 @@ def main(argv=None) -> dict:
     parser.add_argument("--max-wait-ms", type=float, default=40.0,
                         help="flush deadline of the batched mode (default 40ms, wide "
                         "enough to coalesce all clients' arrivals)")
+    parser.add_argument("--binary", action="store_true",
+                        help="drive the batched/unbatched comparison over binary wire "
+                        "bodies instead of JSON")
+    parser.add_argument("--transport-sizes", default=DEFAULT_TRANSPORT_SIZES,
+                        help="comma-separated asset counts for the JSON-vs-binary "
+                        f"transport comparison (default {DEFAULT_TRANSPORT_SIZES}; "
+                        "empty string skips it)")
+    parser.add_argument("--min-binary-speedup", type=float, default=DEFAULT_MIN_BINARY_SPEEDUP,
+                        help="required binary/JSON RPS ratio at the largest transport "
+                        f"size (default {DEFAULT_MIN_BINARY_SPEEDUP}x)")
     parser.add_argument("--json", default=None, help="also write the report to this file")
     args = parser.parse_args(argv)
 
@@ -185,6 +285,7 @@ def main(argv=None) -> dict:
             max_wait_ms=0.0,
             fit_workers=args.fit_workers,
         ),
+        binary=args.binary,
     )
     batched = _measure(
         "batched",
@@ -198,6 +299,14 @@ def main(argv=None) -> dict:
             max_wait_ms=args.max_wait_ms,
             fit_workers=args.fit_workers,
         ),
+        binary=args.binary,
+    )
+
+    transport_sizes = [int(s) for s in args.transport_sizes.split(",") if s.strip()]
+    transport = (
+        _measure_transports(transport_sizes, args.clients, args.requests)
+        if transport_sizes
+        else []
     )
 
     # Byte-identity acceptance: serve one request with the cache on, then
@@ -226,11 +335,19 @@ def main(argv=None) -> dict:
         "benchmark": "serve_throughput",
         "num_assets": args.assets,
         "workload": "repetitive (all clients POST the same matrix)",
+        "transport_mode": "binary" if args.binary else "json",
         "unbatched": unbatched,
         "batched": batched,
         "speedup_rps": round(speedup, 2),
         "min_speedup": args.min_speedup,
         "byte_identical_to_direct_fit": byte_identical,
+        "transport": {
+            "workload": "cache-hit (transport-bound: encode + HTTP + decode + fingerprint)",
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "min_binary_speedup": args.min_binary_speedup,
+            "sizes": transport,
+        },
     }
     import benchlib
 
@@ -240,6 +357,17 @@ def main(argv=None) -> dict:
         f"micro-batching gave only {speedup:.2f}x over batch-size-1 serving "
         f"(required {args.min_speedup}x)"
     )
+    for row in transport:
+        assert row["result_byte_identical"], (
+            f"binary and JSON transports served different result payloads at "
+            f"{row['num_assets']} assets"
+        )
+    if transport:
+        largest = max(transport, key=lambda row: row["num_assets"])
+        assert largest["binary_speedup_rps"] >= args.min_binary_speedup, (
+            f"binary transport gave only {largest['binary_speedup_rps']:.2f}x over JSON "
+            f"at {largest['num_assets']} assets (required {args.min_binary_speedup}x)"
+        )
     return report
 
 

@@ -57,6 +57,14 @@ def main() -> None:
             # An identical repeat request is served from the result cache.
             repeat = client.cluster(dataset.data, config={"num_clusters": 3})
             assert repeat["result"]["labels"] == result["labels"]
+
+            # The same request over the binary wire transport: the matrix
+            # travels as a raw application/x-repro-matrix frame (no JSON
+            # float lists), lands on the same cache entry, and the decoded
+            # envelope is identical to the JSON route's.
+            binary = client.cluster(dataset.data, config={"num_clusters": 3}, binary=True)
+            assert binary["result"] == result
+            print("binary transport returned the identical result payload")
             metrics = client.metrics()
             print(
                 "after a repeat request — cache hit rate:",

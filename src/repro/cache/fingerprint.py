@@ -62,14 +62,20 @@ def config_fingerprint(config: Any) -> str:
 def matrix_fingerprint(matrix: np.ndarray) -> str:
     """Hex fingerprint of an array's dtype, shape, and bytes.
 
-    Non-contiguous arrays hash their C-order bytes (``tobytes`` copies),
-    so views and contiguous copies of the same data agree.
+    C-contiguous arrays (including the read-only ``frombuffer`` views the
+    binary serve transport decodes) are hashed straight through the buffer
+    protocol with no intermediate copy; non-contiguous arrays hash their
+    C-order bytes (``tobytes`` copies), so views and contiguous copies of
+    the same data agree.
     """
     array = np.asarray(matrix)
     digest = _digest()
     digest.update(array.dtype.str.encode("ascii"))
     digest.update(repr(array.shape).encode("ascii"))
-    digest.update(array.tobytes())
+    if array.flags.c_contiguous:
+        digest.update(memoryview(array).cast("B") if array.ndim else memoryview(array))
+    else:
+        digest.update(array.tobytes())
     return digest.hexdigest()
 
 

@@ -326,6 +326,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             max_wait_ms=args.max_wait_ms,
             max_queue_depth=args.max_queue,
             fit_workers=args.fit_workers,
+            binary=args.binary,
         )
     except (ValueError, OSError) as error:
         _print_cli_error(error)
@@ -336,7 +337,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"repro serve listening on http://{ready.host}:{ready.port} "
             f"(method={config.method}, cache={'on' if config.cache else 'off'}, "
             f"max_batch_size={ready.max_batch_size}, max_wait_ms={ready.max_wait_ms:g}, "
-            f"max_queue={ready.max_queue_depth}, fit_workers={ready.fit_workers})",
+            f"max_queue={ready.max_queue_depth}, fit_workers={ready.fit_workers}, "
+            f"binary={'on' if ready.binary else 'off'})",
             flush=True,
         )
 
@@ -553,6 +555,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="threads fitting batches concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--binary",
+        dest="binary",
+        action="store_true",
+        default=True,
+        help="accept/emit the application/x-repro-matrix binary matrix transport (default)",
+    )
+    serve.add_argument(
+        "--no-binary",
+        dest="binary",
+        action="store_false",
+        help="JSON-only surface: answer 415 to binary matrix bodies",
     )
     _add_execution_flags(serve)
     serve.set_defaults(func=_command_serve)

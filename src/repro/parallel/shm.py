@@ -83,8 +83,14 @@ class SharedMatrixArena:
         self._segments: List[shared_memory.SharedMemory] = []
 
     def share(self, matrix: np.ndarray) -> SharedMatrixRef:
-        """Copy ``matrix`` into a fresh segment and return its handle."""
-        array = np.ascontiguousarray(matrix)
+        """Copy ``matrix`` into a fresh segment and return its handle.
+
+        This is the *single* copy of the zero-copy dispatch path: the
+        assignment below writes straight from ``matrix`` (contiguous or
+        strided, writable or read-only) into the mapped segment, with no
+        intermediate ``ascontiguousarray`` materialization.
+        """
+        array = np.asarray(matrix)
         segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
         self._segments.append(segment)
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)

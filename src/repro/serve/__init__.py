@@ -12,7 +12,9 @@ batches; fits run on a thread pool off the event loop.  Admission is
 bounded (HTTP 429 + ``Retry-After`` once ``--max-queue`` requests wait),
 shutdown drains gracefully on SIGTERM, and ``GET /metrics`` /
 ``GET /healthz`` expose live counters, latency histograms, and the result
-cache's hit-rate.
+cache's hit-rate.  Matrices travel either as JSON or as the raw binary
+``application/x-repro-matrix`` frames of :mod:`repro.serve.wire`, which
+the server decodes zero-copy into the fingerprint/shared-memory path.
 
 Programmatic use::
 
@@ -32,6 +34,7 @@ from repro.serve.batcher import (
 from repro.serve.client import ServeClient, ServerBusy, ServerError
 from repro.serve.metrics import LatencyHistogram, ServerMetrics
 from repro.serve.server import ClusteringServer, ServerHandle
+from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError
 
 __all__ = [
     "ClusteringServer",
@@ -45,4 +48,6 @@ __all__ = [
     "ServiceStopping",
     "LatencyHistogram",
     "ServerMetrics",
+    "WIRE_CONTENT_TYPE",
+    "WireFormatError",
 ]

@@ -36,6 +36,7 @@ from typing import Any, Awaitable, Callable, Deque, Dict, List, Optional, Set, T
 import numpy as np
 
 from repro.api.config import ClusteringConfig
+from repro.cache import matrix_fingerprint
 
 #: runner(config, matrices) -> list of results, one per matrix, in order.
 BatchRunner = Callable[[ClusteringConfig, List[np.ndarray]], Awaitable[List[Any]]]
@@ -329,17 +330,14 @@ class MicroBatcher:
     @staticmethod
     def _count_distinct(batch: List[BatchItem]) -> int:
         """Distinct (config, matrix) jobs in a batch — the fits actually paid
-        for after ``cluster_many`` dedupes (cheap content keys, computed
-        for observability; the front door fingerprints independently)."""
+        for after ``cluster_many`` dedupes (content keys computed for
+        observability; the front door fingerprints independently).
+
+        Uses :func:`~repro.cache.fingerprint.matrix_fingerprint`, which
+        hashes contiguous arrays through the buffer protocol — the binary
+        transport's decoded ``frombuffer`` views are counted without the
+        ``tobytes`` copy the old ad-hoc key paid."""
         seen = set()
         for item in batch:
-            matrix = np.ascontiguousarray(item.matrix)
-            seen.add(
-                (
-                    item.config.to_json(),
-                    matrix.shape,
-                    str(matrix.dtype),
-                    hash(matrix.tobytes()),
-                )
-            )
+            seen.add((item.config.to_json(), matrix_fingerprint(item.matrix)))
         return len(seen)

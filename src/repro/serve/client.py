@@ -12,6 +12,13 @@ HTTP plumbing::
         envelope = client.cluster(matrix, config={"num_clusters": 4})
         labels = envelope["result"]["labels"]
 
+Large matrices should travel as raw bytes instead of JSON float lists:
+``cluster(..., binary=True)`` POSTs the :mod:`repro.serve.wire` frame and
+asks for a binary response envelope, decoding it back into the exact dict
+the JSON route returns.  Against an old (or ``--no-binary``) server the
+client notices the 415 once and transparently falls back to JSON for the
+rest of its life.
+
 The client is blocking by design (one request in flight per connection)
 and not thread-safe: give each closed-loop load-generator thread its own
 instance.
@@ -26,6 +33,15 @@ import time
 from typing import Any, Dict, Optional
 
 import numpy as np
+
+from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError, decode_envelope, encode_request
+
+#: Methods a stale keep-alive socket may transparently retry: safe to
+#: replay because the server performs no work on their behalf.  A POST is
+#: NOT among them — its first attempt may have been admitted (and fitted!)
+#: before the connection died, and silently re-sending it would
+#: double-submit the job; POST failures surface to the caller instead.
+_IDEMPOTENT_METHODS = frozenset({"GET", "HEAD"})
 
 
 class ServerError(RuntimeError):
@@ -47,13 +63,16 @@ class ServerBusy(ServerError):
 
 
 class ServeClient:
-    """Blocking JSON client for one ``repro serve`` endpoint."""
+    """Blocking client for one ``repro serve`` endpoint (JSON or binary)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8752, timeout: float = 60.0) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
         self._connection: Optional[http.client.HTTPConnection] = None
+        #: None until the server's binary support is observed; False after
+        #: a 415 told us to stop sending wire frames (old/JSON-only server).
+        self._server_accepts_binary: Optional[bool] = None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -65,20 +84,24 @@ class ServeClient:
         return self._connection
 
     def _request(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
+        if headers is None:
+            headers = {"Content-Type": "application/json"} if body else {}
         last_error: Optional[Exception] = None
-        # One transparent retry: a keep-alive connection the server closed
-        # (drain, restart) surfaces as a stale-socket error on first use.
-        for attempt in range(2):
+        # One transparent retry for idempotent methods only: a keep-alive
+        # connection the server closed (drain, restart) surfaces as a
+        # stale-socket error on first use, and replaying a GET/HEAD is
+        # free.  POST raises immediately — see _IDEMPOTENT_METHODS.
+        attempts = 2 if method in _IDEMPOTENT_METHODS else 1
+        for attempt in range(attempts):
             connection = self._connect()
             try:
-                connection.request(
-                    method,
-                    path,
-                    body=body,
-                    headers={"Content-Type": "application/json"} if body else {},
-                )
+                connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
                 break
@@ -90,48 +113,83 @@ class ServeClient:
             ) as error:
                 self.close()
                 last_error = error
-                if attempt == 1 or isinstance(error, socket.timeout):
+                if attempt == attempts - 1 or isinstance(error, socket.timeout):
                     raise
         else:  # pragma: no cover - loop always breaks or raises
             raise last_error  # type: ignore[misc]
-        try:
-            payload = json.loads(raw) if raw else {}
-        except json.JSONDecodeError:
-            payload = {"error": raw.decode("utf-8", "replace")}
         status = response.status
-        if status == 429:
-            retry_header = response.getheader("Retry-After")
+        content_type = (response.getheader("Content-Type") or "").split(";", 1)[0].strip().lower()
+        if content_type == WIRE_CONTENT_TYPE and status < 400:
             try:
-                retry_after = float(retry_header) if retry_header else 1.0
-            except ValueError:
-                retry_after = 1.0
-            raise ServerBusy(status, payload, retry_after)
+                payload = decode_envelope(raw)
+            except WireFormatError as error:
+                raise ServerError(status, {"error": f"undecodable binary envelope: {error}"})
+        else:
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+        if status == 429:
+            raise ServerBusy(status, payload, self._retry_after(response, payload))
         if status >= 400:
             raise ServerError(status, payload)
         return payload
 
+    @staticmethod
+    def _retry_after(response: http.client.HTTPResponse, payload: Any) -> float:
+        """The backoff hint of a 429: fractional body value over the
+        integer (RFC-rounded-up) ``Retry-After`` header."""
+        if isinstance(payload, dict):
+            body_value = payload.get("retry_after_seconds")
+            if isinstance(body_value, (int, float)) and not isinstance(body_value, bool):
+                if body_value >= 0:
+                    return float(body_value)
+        retry_header = response.getheader("Retry-After")
+        try:
+            return float(retry_header) if retry_header else 1.0
+        except ValueError:
+            return 1.0
+
     # -- endpoints ---------------------------------------------------------
 
-    def request(self, method: str, path: str, body: Optional[bytes] = None) -> Dict[str, Any]:
-        """One raw JSON exchange (typed errors included).
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, Any]:
+        """One raw exchange (typed errors included).
 
         The load benchmark pre-encodes its request body once and replays
         it through this method — re-serializing a large matrix on every
-        closed-loop iteration would measure ``json.dumps``, not the
-        server.
+        closed-loop iteration would measure the encoder, not the server.
+        Pass ``headers`` to replay binary bodies
+        (``{"Content-Type": WIRE_CONTENT_TYPE, "Accept": WIRE_CONTENT_TYPE}``).
         """
-        return self._request(method, path, body)
+        return self._request(method, path, body, headers)
 
     def encode_cluster_body(
         self, matrix: Any, config: Optional[Dict[str, Any]] = None
     ) -> bytes:
-        """The ``POST /cluster`` body for ``matrix`` — reusable across calls."""
+        """The JSON ``POST /cluster`` body for ``matrix`` — reusable across calls."""
         return json.dumps(
             {
                 "matrix": np.asarray(matrix, dtype=float).tolist(),
                 "config": config or {},
             }
         ).encode("utf-8")
+
+    def encode_cluster_body_binary(
+        self, matrix: Any, config: Optional[Dict[str, Any]] = None
+    ) -> bytes:
+        """The binary ``POST /cluster`` body: a raw float64 wire frame.
+
+        3-4x smaller than :meth:`encode_cluster_body` at large n and
+        decoded by the server with zero intermediate copies.  Send it with
+        ``Content-Type: application/x-repro-matrix``.
+        """
+        return encode_request(np.asarray(matrix, dtype=float), config)
 
     def healthz(self) -> Dict[str, Any]:
         """``GET /healthz``."""
@@ -148,24 +206,53 @@ class ServeClient:
         *,
         retries: int = 0,
         retry_backoff: float = 0.0,
+        binary: bool = False,
     ) -> Dict[str, Any]:
         """POST one clustering job; returns the response envelope.
 
         ``config`` is a partial :meth:`ClusteringConfig.to_dict` payload
         overlaid onto the server's default config.  With ``retries``, a
-        429 is retried after the server's ``Retry-After`` hint (or
+        429 is retried after the server's ``retry_after_seconds`` hint (or
         ``retry_backoff`` if larger), which is how a polite closed-loop
-        client behaves under admission control.
+        client behaves under admission control.  Connection failures are
+        never transparently retried on this path — the first attempt may
+        already have been admitted server-side, and replaying it would
+        double-submit the job; they propagate to the caller.
+
+        ``binary=True`` ships the matrix as a raw wire frame and asks for
+        a binary response envelope; the returned dict is identical either
+        way.  A 415 from a server without the transport demotes this
+        client to JSON permanently (transparent negotiation).
         """
-        body = self.encode_cluster_body(matrix, config)
+        use_binary = binary and self._server_accepts_binary is not False
+        if use_binary:
+            body = self.encode_cluster_body_binary(matrix, config)
+            headers: Optional[Dict[str, str]] = {
+                "Content-Type": WIRE_CONTENT_TYPE,
+                "Accept": WIRE_CONTENT_TYPE,
+            }
+        else:
+            body = self.encode_cluster_body(matrix, config)
+            headers = None
         attempts = max(0, int(retries)) + 1
         for attempt in range(attempts):
             try:
-                return self._request("POST", "/cluster", body)
+                return self._request("POST", "/cluster", body, headers)
             except ServerBusy as busy:
                 if attempt == attempts - 1:
                     raise
                 time.sleep(max(busy.retry_after, retry_backoff))
+            except ServerError as error:
+                if use_binary and error.status == 415:
+                    self._server_accepts_binary = False
+                    return self.cluster(
+                        matrix,
+                        config,
+                        retries=max(0, attempts - 1 - attempt),
+                        retry_backoff=retry_backoff,
+                        binary=False,
+                    )
+                raise
         raise AssertionError("unreachable")  # pragma: no cover
 
     def cluster_labels(

@@ -10,13 +10,19 @@ event loop never blocks on numerical work.
 Routes
 ------
 ``POST /cluster``
-    Body ``{"matrix": [[...]], "config": {...}}``.  ``config`` is a
-    (possibly partial) :meth:`ClusteringConfig.to_dict` payload overlaid
-    onto the server's default config — the same ``from_dict``/``merged``
-    machinery as ``repro cluster --config``.  Responds 200 with
-    ``{"result": ClusterResult.to_dict(), "serving": {...}}``; 400 on a
-    malformed body; 429 + ``Retry-After`` when the admission queue is
-    full; 503 while draining.
+    JSON body ``{"matrix": [[...]], "config": {...}}``, or — with
+    ``Content-Type: application/x-repro-matrix`` — the binary wire frame
+    of :mod:`repro.serve.wire` (raw C-order buffer, config carried in the
+    frame header), which decodes zero-copy straight into the fingerprint
+    and shared-memory path.  ``config`` is a (possibly partial)
+    :meth:`ClusteringConfig.to_dict` payload overlaid onto the server's
+    default config — the same ``from_dict``/``merged`` machinery as
+    ``repro cluster --config``.  Responds 200 with
+    ``{"result": ClusterResult.to_dict(), "serving": {...}}`` (as a binary
+    envelope frame when the client sent ``Accept:
+    application/x-repro-matrix``); 400 on a malformed body; 415 for a
+    binary body when the transport is disabled; 429 + ``Retry-After`` when
+    the admission queue is full; 503 while draining.
 ``GET /healthz``
     Liveness: status, version, uptime, queue depth.
 ``GET /metrics``
@@ -36,6 +42,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -55,6 +62,7 @@ from repro.serve.batcher import (
     validate_batching_knobs,
 )
 from repro.serve.metrics import ServerMetrics
+from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError, decode_request, encode_envelope
 
 #: Hard cap on request bodies (a 2000x2000 float matrix in JSON is ~90 MB;
 #: this bound exists to fail fast on garbage, not to size real inputs).
@@ -83,8 +91,31 @@ REQUEST_CONFIG_FIELDS = frozenset(
 )
 
 
+def retry_after_hint(max_wait_ms: float) -> float:
+    """Fractional backoff (seconds) for a 429'd client.
+
+    One flush deadline is how long the queue needs to start draining, so
+    that is the honest hint — floored at 50ms so clients never busy-spin.
+    The old integer formula (``int(round(ms/1000)) + 1``) forced a >=2s
+    backoff even at ``max_wait_ms=5``; the fraction travels in the JSON
+    body, while the ``Retry-After`` *header* stays an RFC-valid integer.
+    """
+    return round(max(0.05, max_wait_ms / 1000.0), 3)
+
+
 class _BadRequest(ValueError):
     """Client-side error; rendered as HTTP 400 with the message."""
+
+
+class _UnsupportedMediaType(ValueError):
+    """Binary body on a server with the transport disabled; HTTP 415."""
+
+
+@dataclass
+class _BinaryBody:
+    """A pre-encoded ``application/x-repro-matrix`` response body."""
+
+    data: bytes
 
 
 @dataclass
@@ -97,6 +128,15 @@ class _Request:
     @property
     def keep_alive(self) -> bool:
         return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    @property
+    def media_type(self) -> str:
+        """The ``Content-Type`` media type, lowercased, parameters stripped."""
+        return self.headers.get("content-type", "").split(";", 1)[0].strip().lower()
+
+    @property
+    def accepts_binary(self) -> bool:
+        return WIRE_CONTENT_TYPE in self.headers.get("accept", "").lower()
 
 
 class ClusteringServer:
@@ -118,6 +158,11 @@ class ClusteringServer:
         Threads fitting batches concurrently (default 2).  Each batch is
         one ``cluster_many`` call; more workers let distinct batches
         overlap.
+    binary:
+        Accept (and, on ``Accept``, emit) the
+        ``application/x-repro-matrix`` binary transport (default on).
+        ``binary=False`` turns binary bodies into HTTP 415, for operators
+        who want a JSON-only surface.
     """
 
     def __init__(
@@ -130,6 +175,7 @@ class ClusteringServer:
         max_wait_ms: float = 10.0,
         max_queue_depth: int = 256,
         fit_workers: int = 2,
+        binary: bool = True,
     ) -> None:
         if fit_workers < 1:
             raise ValueError("fit_workers must be at least 1")
@@ -145,6 +191,7 @@ class ClusteringServer:
         self.max_wait_ms = max_wait_ms
         self.max_queue_depth = max_queue_depth
         self.fit_workers = fit_workers
+        self.binary = binary
         self.metrics = ServerMetrics()
         self._batcher: Optional[MicroBatcher] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -310,8 +357,20 @@ class ClusteringServer:
                 break
             if len(headers) > 100:
                 raise _BadRequest("too many headers")
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
+            text = line.decode("latin-1").rstrip("\r\n")
+            name, colon, value = text.partition(":")
+            # A colon-less line must not silently become an empty-value
+            # header (last-wins would then let it mask a real one).
+            if not colon:
+                raise _BadRequest(f"malformed header line (no colon): {text[:80]!r}")
+            name = name.strip().lower()
+            if not name:
+                raise _BadRequest("malformed header line (empty header name)")
+            # Conflicting Content-Length values are a classic smuggling
+            # vector; last-wins parsing would read the wrong body length.
+            if name == "content-length" and name in headers:
+                raise _BadRequest("duplicate Content-Length header")
+            headers[name] = value.strip()
         length_text = headers.get("content-length", "0")
         try:
             content_length = int(length_text)
@@ -330,15 +389,20 @@ class ClusteringServer:
     def _response(
         self,
         status: HTTPStatus,
-        payload: Dict[str, Any],
+        payload: Any,
         extra_headers: Optional[Dict[str, str]] = None,
         *,
         head_only: bool = False,
     ) -> bytes:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _BinaryBody):
+            body = payload.data
+            content_type = WIRE_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         lines = [
             f"HTTP/1.1 {int(status)} {status.phrase}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Server: repro-serve/{__version__}",
         ]
@@ -351,7 +415,7 @@ class ClusteringServer:
 
     async def _route(
         self, request: _Request
-    ) -> Tuple[HTTPStatus, Dict[str, Any], Optional[Dict[str, str]]]:
+    ) -> Tuple[HTTPStatus, Any, Optional[Dict[str, str]]]:
         path = request.path.split("?", 1)[0]
         # Bucket unknown methods/paths so hostile or misdirected traffic
         # cannot grow the metrics dict (and /metrics document) unboundedly.
@@ -399,20 +463,24 @@ class ClusteringServer:
 
     async def _handle_cluster(
         self, request: _Request
-    ) -> Tuple[HTTPStatus, Dict[str, Any], Optional[Dict[str, str]]]:
+    ) -> Tuple[HTTPStatus, Any, Optional[Dict[str, str]]]:
         assert self._batcher is not None
         try:
-            matrix, config = self._parse_cluster_body(request.body)
+            matrix, config = self._parse_cluster_request(request)
+        except _UnsupportedMediaType as error:
+            return HTTPStatus.UNSUPPORTED_MEDIA_TYPE, {"error": str(error)}, None
         except _BadRequest as error:
             return HTTPStatus.BAD_REQUEST, {"error": str(error)}, None
         try:
             future = self._batcher.submit(matrix, config)
         except QueueFull as error:
-            retry_after = max(1, int(round(self.max_wait_ms / 1000.0)) + 1)
+            # The body carries the honest fractional backoff; the header
+            # stays an RFC-valid integer (rounded up, at least 1s).
+            retry_after_seconds = retry_after_hint(self.max_wait_ms)
             return (
                 HTTPStatus.TOO_MANY_REQUESTS,
-                {"error": str(error), "retry_after_seconds": retry_after},
-                {"Retry-After": str(retry_after)},
+                {"error": str(error), "retry_after_seconds": retry_after_seconds},
+                {"Retry-After": str(max(1, math.ceil(retry_after_seconds)))},
             )
         except ServiceStopping as error:
             return (
@@ -447,7 +515,31 @@ class ClusteringServer:
                 "fit_seconds": round(info["fit_seconds"], 6),
             },
         }
+        if self.binary and request.accepts_binary:
+            # Same envelope, lifted into a wire frame: the labels travel as
+            # a raw int64 buffer, everything else in the frame header, and
+            # decoding reproduces the JSON envelope byte for byte.
+            return HTTPStatus.OK, _BinaryBody(encode_envelope(envelope)), None
         return HTTPStatus.OK, envelope, None
+
+    def _parse_cluster_request(self, request: _Request) -> Tuple[np.ndarray, ClusteringConfig]:
+        """Decode a cluster request body in either transport."""
+        if request.media_type == WIRE_CONTENT_TYPE:
+            if not self.binary:
+                raise _UnsupportedMediaType(
+                    f"this server runs with the binary transport disabled; "
+                    f"POST JSON instead of {WIRE_CONTENT_TYPE}"
+                )
+            try:
+                matrix, config_payload = decode_request(request.body)
+            except WireFormatError as error:
+                raise _BadRequest(f"bad {WIRE_CONTENT_TYPE} body: {error}") from error
+            # float64 frames pass through as the decoded zero-copy view;
+            # other numeric dtypes are upcast (one copy) to keep the
+            # fingerprint identical to the JSON route's float64 matrix.
+            matrix = np.asarray(matrix, dtype=float)
+            return self._checked_matrix(matrix), self._merged_request_config(config_payload)
+        return self._parse_cluster_body(request.body)
 
     def _parse_cluster_body(self, body: bytes) -> Tuple[np.ndarray, ClusteringConfig]:
         if not body:
@@ -467,11 +559,20 @@ class ClusteringServer:
             matrix = np.asarray(payload["matrix"], dtype=float)
         except (TypeError, ValueError) as error:
             raise _BadRequest(f"'matrix' is not numeric: {error}") from error
+        config_payload = payload.get("config", {})
+        return self._checked_matrix(matrix), self._merged_request_config(config_payload)
+
+    @staticmethod
+    def _checked_matrix(matrix: np.ndarray) -> np.ndarray:
+        """Shape/finiteness validation shared by the JSON and binary routes."""
         if matrix.ndim != 2 or 0 in matrix.shape:
             raise _BadRequest(f"'matrix' must be 2-D and non-empty; got shape {matrix.shape}")
         if not np.all(np.isfinite(matrix)):
             raise _BadRequest("'matrix' contains NaN or infinite entries")
-        config_payload = payload.get("config", {})
+        return matrix
+
+    def _merged_request_config(self, config_payload: Any) -> ClusteringConfig:
+        """Overlay a request's (partial) config onto the server default."""
         if not isinstance(config_payload, dict):
             raise _BadRequest("'config' must be a JSON object (ClusteringConfig.to_dict payload)")
         reserved = sorted(set(config_payload) - REQUEST_CONFIG_FIELDS)
@@ -481,10 +582,9 @@ class ClusteringServer:
                 f"cannot be set per request; allowed: {sorted(REQUEST_CONFIG_FIELDS)}"
             )
         try:
-            config = self.default_config.merged(config_payload)
+            return self.default_config.merged(config_payload)
         except (TypeError, ValueError) as error:
             raise _BadRequest(f"bad 'config': {error}") from error
-        return matrix, config
 
 
 @dataclass

@@ -1,0 +1,245 @@
+"""The binary matrix wire format of the clustering service.
+
+JSON float matrices are the serve path's hidden tax at large n: the client
+pays ``tolist()`` + ``json.dumps``, the body is 3-4x the raw bytes, and the
+server pays ``json.loads`` plus an array build before the fingerprint and
+shared-memory arena ever see the data.  This module defines
+``application/x-repro-matrix`` — a tiny versioned container (npy-lite)
+that ships the raw C-order buffer instead:
+
+.. code-block:: text
+
+    offset  size  field
+    0       4     magic  b"RPRM"
+    4       1     wire version (currently 1)
+    5       3     reserved (zero)
+    8       4     header length H (uint32, little-endian)
+    12      H     header: UTF-8 JSON object
+    12+H    *     payload: the C-order array buffer (or empty)
+
+The header carries ``{"dtype": "<f8", "shape": [rows, cols]}`` plus
+frame-specific keys: a request frame adds ``"config"`` (the same partial
+``ClusteringConfig.to_dict()`` payload the JSON route accepts), a response
+frame carries the result envelope with the flat labels lifted out into the
+binary payload.
+
+Decoding is zero-copy by construction: :func:`decode_matrix` returns a
+read-only :func:`numpy.frombuffer` view over the request body, so the only
+copy left on the serve path is the write into the shared-memory segment
+(``repro.cache.fingerprint.matrix_fingerprint`` hashes the same view
+through the buffer protocol).  Malformed frames raise
+:class:`WireFormatError`, which the server renders as HTTP 400 — a
+truncated or padded body is the client's bug, never a 500.
+
+Only little-endian (or byteorder-free) numeric dtypes are accepted; the
+encoder byte-swaps big-endian inputs so a frame means the same bytes on
+every host.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+#: The media type negotiated via ``Content-Type`` / ``Accept``.
+WIRE_CONTENT_TYPE = "application/x-repro-matrix"
+
+MAGIC = b"RPRM"
+WIRE_VERSION = 1
+
+#: magic(4) | version(1) | reserved(3) | header_len(uint32 LE)
+_PREFIX = struct.Struct("<4sB3xI")
+
+#: Headers are tiny JSON documents; anything bigger is garbage (the matrix
+#: itself travels in the payload, never the header).
+_MAX_HEADER_BYTES = 1 * 1024 * 1024
+
+#: dtype kinds a matrix frame may carry (floats, signed/unsigned ints, bool).
+_ALLOWED_KINDS = frozenset("fiub")
+
+#: dtype the binary labels payload of a response frame uses.
+_LABELS_DTYPE = "<i8"
+
+
+class WireFormatError(ValueError):
+    """A malformed ``application/x-repro-matrix`` frame (client error)."""
+
+
+def _checked_dtype(spec: Any) -> np.dtype:
+    """Validate a header dtype string into a concrete little-endian dtype."""
+    if not isinstance(spec, str):
+        raise WireFormatError(f"header 'dtype' must be a string, got {type(spec).__name__}")
+    try:
+        dtype = np.dtype(spec)
+    except TypeError as error:
+        raise WireFormatError(f"unknown dtype {spec!r}") from error
+    if dtype.kind not in _ALLOWED_KINDS or dtype.hasobject:
+        raise WireFormatError(f"dtype {spec!r} is not a supported numeric dtype")
+    if dtype.byteorder == ">":
+        raise WireFormatError(f"dtype {spec!r} is big-endian; frames are little-endian")
+    return dtype
+
+
+def _checked_shape(spec: Any) -> Tuple[int, ...]:
+    if (
+        not isinstance(spec, list)
+        or not all(isinstance(n, int) and not isinstance(n, bool) and n >= 0 for n in spec)
+    ):
+        raise WireFormatError(f"header 'shape' must be a list of non-negative ints, got {spec!r}")
+    if len(spec) > 8:
+        raise WireFormatError(f"header 'shape' has {len(spec)} dimensions (max 8)")
+    return tuple(spec)
+
+
+# ---------------------------------------------------------------------------
+# Frame container
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(header: Dict[str, Any], payload: bytes = b"") -> bytes:
+    """One wire frame from a JSON-safe ``header`` and a raw ``payload``."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > _MAX_HEADER_BYTES:
+        raise WireFormatError(f"frame header exceeds {_MAX_HEADER_BYTES} bytes")
+    return b"".join((_PREFIX.pack(MAGIC, WIRE_VERSION, len(header_bytes)), header_bytes, payload))
+
+
+def decode_frame(body: bytes) -> Tuple[Dict[str, Any], memoryview]:
+    """Split a frame into its header dict and a zero-copy payload view."""
+    if len(body) < _PREFIX.size:
+        raise WireFormatError(
+            f"frame is {len(body)} bytes, shorter than the {_PREFIX.size}-byte prefix"
+        )
+    magic, version, header_len = _PREFIX.unpack_from(body)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}; expected {MAGIC!r}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}; this build speaks {WIRE_VERSION}")
+    if header_len > _MAX_HEADER_BYTES:
+        raise WireFormatError(f"frame header length {header_len} exceeds {_MAX_HEADER_BYTES}")
+    if _PREFIX.size + header_len > len(body):
+        raise WireFormatError("frame truncated inside the header")
+    try:
+        header = json.loads(body[_PREFIX.size : _PREFIX.size + header_len])
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise WireFormatError(f"frame header is not valid JSON: {error}") from error
+    if not isinstance(header, dict):
+        raise WireFormatError("frame header must be a JSON object")
+    return header, memoryview(body)[_PREFIX.size + header_len :]
+
+
+# ---------------------------------------------------------------------------
+# Matrix frames (requests)
+# ---------------------------------------------------------------------------
+
+
+def encode_matrix(matrix: Any, extra: Optional[Dict[str, Any]] = None) -> bytes:
+    """Encode one array as a wire frame (C-order, little-endian).
+
+    ``extra`` keys are merged into the header — the request path uses it to
+    carry the ``config`` overlay alongside the matrix.
+    """
+    array = np.asarray(matrix)
+    if array.dtype.kind not in _ALLOWED_KINDS or array.dtype.hasobject:
+        raise WireFormatError(f"cannot encode dtype {array.dtype.str!r} as a matrix frame")
+    if array.dtype.byteorder == ">":
+        array = array.astype(array.dtype.newbyteorder("<"))
+    array = np.ascontiguousarray(array)
+    header: Dict[str, Any] = {"dtype": array.dtype.str, "shape": list(array.shape)}
+    if extra:
+        header.update(extra)
+    payload = memoryview(array).cast("B") if array.nbytes else b""
+    return encode_frame(header, payload)
+
+
+def decode_matrix(body: bytes) -> Tuple[np.ndarray, Dict[str, Any]]:
+    """Decode one matrix frame into ``(array, header)``, zero-copy.
+
+    The returned array is a read-only C-order view over ``body`` — no bytes
+    are duplicated; hashing it or copying it into shared memory reads the
+    request buffer directly.  A payload that does not match the header's
+    dtype x shape exactly (truncated or padded) is a
+    :class:`WireFormatError`.
+    """
+    header, payload = decode_frame(body)
+    dtype = _checked_dtype(header.get("dtype"))
+    shape = _checked_shape(header.get("shape"))
+    count = 1
+    for n in shape:
+        count *= n
+    expected = count * dtype.itemsize
+    if len(payload) != expected:
+        kind = "truncated" if len(payload) < expected else "oversized"
+        raise WireFormatError(
+            f"{kind} payload: dtype {dtype.str!r} x shape {list(shape)} needs "
+            f"{expected} bytes, body carries {len(payload)}"
+        )
+    array = np.frombuffer(payload, dtype=dtype, count=count).reshape(shape)
+    return array, header
+
+
+def encode_request(matrix: Any, config: Optional[Dict[str, Any]] = None) -> bytes:
+    """The binary ``POST /cluster`` body: matrix frame + config in the header."""
+    return encode_matrix(matrix, extra={"config": dict(config) if config else {}})
+
+
+def decode_request(body: bytes) -> Tuple[np.ndarray, Dict[str, Any]]:
+    """Decode a binary cluster request into ``(matrix, config_payload)``."""
+    matrix, header = decode_matrix(body)
+    config = header.get("config", {})
+    if not isinstance(config, dict):
+        raise WireFormatError("header 'config' must be a JSON object")
+    return matrix, config
+
+
+# ---------------------------------------------------------------------------
+# Envelope frames (responses)
+# ---------------------------------------------------------------------------
+
+
+def encode_envelope(envelope: Dict[str, Any]) -> bytes:
+    """Encode a served response envelope as a wire frame.
+
+    The flat labels (the response's only array payload) are lifted out of
+    ``result.labels`` into the binary payload as ``<i8``; everything else
+    rides in the header JSON with its key order intact, so decoding and
+    re-serializing reproduces the JSON route's envelope byte for byte.
+    """
+    result = envelope.get("result")
+    labels = result.get("labels") if isinstance(result, dict) else None
+    if isinstance(labels, list) and labels:
+        array = np.ascontiguousarray(np.asarray(labels, dtype=_LABELS_DTYPE))
+        slimmed_result = dict(result)
+        slimmed_result["labels"] = None  # restored from the payload on decode
+        slimmed = dict(envelope)
+        slimmed["result"] = slimmed_result
+        header = {"envelope": slimmed, "labels_dtype": _LABELS_DTYPE}
+        return encode_frame(header, memoryview(array).cast("B"))
+    return encode_frame({"envelope": envelope, "labels_dtype": None})
+
+
+def decode_envelope(body: bytes) -> Dict[str, Any]:
+    """Decode a binary response envelope back into the JSON route's dict."""
+    header, payload = decode_frame(body)
+    envelope = header.get("envelope")
+    if not isinstance(envelope, dict):
+        raise WireFormatError("envelope frame header carries no 'envelope' object")
+    labels_dtype = header.get("labels_dtype")
+    if labels_dtype is None:
+        if len(payload):
+            raise WireFormatError("envelope frame has a payload but no 'labels_dtype'")
+        return envelope
+    dtype = _checked_dtype(labels_dtype)
+    if len(payload) % dtype.itemsize:
+        raise WireFormatError(
+            f"labels payload of {len(payload)} bytes is not a multiple of "
+            f"dtype {dtype.str!r} ({dtype.itemsize} bytes)"
+        )
+    result = envelope.get("result")
+    if not isinstance(result, dict):
+        raise WireFormatError("envelope frame carries labels but no 'result' object")
+    result["labels"] = [int(value) for value in np.frombuffer(payload, dtype=dtype)]
+    return envelope

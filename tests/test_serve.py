@@ -567,6 +567,318 @@ class TestReviewHardening:
         with pytest.raises(ValueError, match="max_queue_depth"):
             ClusteringServer(max_queue_depth=0)
 
+
+# ---------------------------------------------------------------------------
+# Transport hardening (client retry semantics, 429 hints, header parsing)
+# ---------------------------------------------------------------------------
+
+
+class _ScriptedSocketServer:
+    """A raw TCP double for transport-failure tests.
+
+    Reads one full HTTP request per connection and then consults
+    ``script``: ``"kill"`` closes the connection without answering
+    (simulating a server that died post-admission), any other entry is
+    sent verbatim as the response.  Connections beyond the script replay
+    its last entry.  ``requests_seen`` counts requests actually read —
+    the double-submit assertions hang off it.
+    """
+
+    def __init__(self, script):
+        import socket as socketlib
+
+        self.script = list(script)
+        self.requests_seen = 0
+        self.requests = []
+        self._listener = socketlib.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        import socket as socketlib
+
+        while not self._stopping.is_set():
+            try:
+                connection, _peer = self._listener.accept()
+            except (socketlib.timeout, OSError):
+                continue
+            with connection:
+                connection.settimeout(5.0)
+                try:
+                    request = self._read_request(connection)
+                except (socketlib.timeout, OSError):
+                    continue
+                if not request:
+                    continue
+                self.requests.append(request)
+                action = self.script[min(self.requests_seen, len(self.script) - 1)]
+                self.requests_seen += 1
+                if action != "kill":
+                    try:
+                        connection.sendall(action)
+                    except OSError:
+                        pass
+                # falling out of the with-block closes the socket; for
+                # "kill" that is the whole response.
+
+    @staticmethod
+    def _read_request(connection) -> bytes:
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = connection.recv(65536)
+            if not chunk:
+                return data
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        content_length = 0
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                content_length = int(value.strip())
+        while len(rest) < content_length:
+            chunk = connection.recv(65536)
+            if not chunk:
+                break
+            rest += chunk
+        return data
+
+    def stop(self):
+        self._stopping.set()
+        self._thread.join(timeout=5)
+        self._listener.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+def _canned_response(status_line: str, body: dict, extra_headers: str = "") -> bytes:
+    payload = json.dumps(body).encode("utf-8")
+    return (
+        f"HTTP/1.1 {status_line}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"{extra_headers}"
+        f"Connection: keep-alive\r\n\r\n"
+    ).encode("latin-1") + payload
+
+
+class TestClientRetrySemantics:
+    """The stale-socket retry is restricted to idempotent methods: a POST
+    whose connection dies after the request was read may already have been
+    admitted (even fitted) server-side, so replaying it would double-submit."""
+
+    def test_post_is_never_transparently_retried(self):
+        from repro.serve import ServeClient
+
+        with _ScriptedSocketServer(["kill"]) as fake:
+            with ServeClient(fake.host, fake.port, timeout=5) as client:
+                with pytest.raises((ConnectionError, OSError, Exception)) as excinfo:
+                    client.request("POST", "/cluster", b'{"matrix": [[1.0, 2.0]]}')
+                import http.client as http_client
+
+                assert isinstance(
+                    excinfo.value,
+                    (http_client.HTTPException, ConnectionError, OSError),
+                )
+            time.sleep(0.05)
+            # Exactly one request reached the wire: no silent replay.
+            assert fake.requests_seen == 1
+
+    def test_get_is_transparently_retried_once(self):
+        from repro.serve import ServeClient
+
+        ok = _canned_response("200 OK", {"status": "ok"})
+        with _ScriptedSocketServer(["kill", ok]) as fake:
+            with ServeClient(fake.host, fake.port, timeout=5) as client:
+                assert client.healthz() == {"status": "ok"}
+            assert fake.requests_seen == 2
+            assert all(req.startswith(b"GET /healthz") for req in fake.requests)
+
+    def test_cluster_propagates_connection_death(self, series):
+        from repro.serve import ServeClient
+
+        with _ScriptedSocketServer(["kill"]) as fake:
+            with ServeClient(fake.host, fake.port, timeout=5) as client:
+                import http.client as http_client
+
+                with pytest.raises(
+                    (http_client.HTTPException, ConnectionError, OSError)
+                ):
+                    client.cluster(series[:8])
+            time.sleep(0.05)
+            assert fake.requests_seen == 1
+
+
+class TestRetryAfterHints:
+    def test_retry_after_hint_is_fractional_with_a_floor(self):
+        from repro.serve.server import retry_after_hint
+
+        assert retry_after_hint(3_000.0) == 3.0
+        assert retry_after_hint(250.0) == 0.25
+        assert retry_after_hint(10.0) == 0.05  # floored: never advertise ~0
+        assert retry_after_hint(333.3) == 0.333
+
+    def test_client_prefers_fractional_body_hint_over_header(self):
+        from repro.serve import ServeClient
+
+        busy = _canned_response(
+            "429 Too Many Requests",
+            {"error": "admission queue full", "retry_after_seconds": 0.25},
+            extra_headers="Retry-After: 1\r\n",
+        )
+        with _ScriptedSocketServer([busy]) as fake:
+            with ServeClient(fake.host, fake.port, timeout=5) as client:
+                with pytest.raises(ServerBusy) as excinfo:
+                    client.cluster(np.ones((4, 4)))
+        assert excinfo.value.retry_after == 0.25
+
+    def test_client_falls_back_to_header_without_body_hint(self):
+        from repro.serve import ServeClient
+
+        busy = _canned_response(
+            "429 Too Many Requests",
+            {"error": "admission queue full"},
+            extra_headers="Retry-After: 2\r\n",
+        )
+        with _ScriptedSocketServer([busy]) as fake:
+            with ServeClient(fake.host, fake.port, timeout=5) as client:
+                with pytest.raises(ServerBusy) as excinfo:
+                    client.cluster(np.ones((4, 4)))
+        assert excinfo.value.retry_after == 2.0
+
+    def test_hostile_body_hint_is_ignored(self):
+        from repro.serve import ServeClient
+
+        busy = _canned_response(
+            "429 Too Many Requests",
+            {"error": "busy", "retry_after_seconds": "soon"},
+            extra_headers="Retry-After: 1\r\n",
+        )
+        with _ScriptedSocketServer([busy]) as fake:
+            with ServeClient(fake.host, fake.port, timeout=5) as client:
+                with pytest.raises(ServerBusy) as excinfo:
+                    client.cluster(np.ones((4, 4)))
+        assert excinfo.value.retry_after == 1.0
+
+    def test_live_429_carries_fractional_body_and_integer_header(self, series):
+        import socket
+
+        _server, handle = _start_server(
+            max_wait_ms=2_500.0, max_batch_size=64, max_queue_depth=1, fit_workers=1
+        )
+        small = series[:12]
+        try:
+            def hold():
+                try:
+                    ServeClient(handle.host, handle.port).cluster(small)
+                except ServerBusy:
+                    pass  # late holders may be rejected too; irrelevant here
+
+            holders = [threading.Thread(target=hold) for _ in range(3)]
+            for thread in holders:
+                thread.start()
+                time.sleep(0.05)
+            # Saturate, then inspect the raw 429 bytes.
+            body = json.dumps({"matrix": small.tolist(), "config": {}}).encode()
+            deadline = time.time() + 10
+            raw_response = b""
+            while time.time() < deadline:
+                with socket.create_connection((handle.host, handle.port), timeout=10) as raw:
+                    raw.sendall(
+                        b"POST /cluster HTTP/1.1\r\nHost: x\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+                    )
+                    raw.settimeout(10)
+                    raw_response = raw.recv(1 << 20)
+                if raw_response.startswith(b"HTTP/1.1 429"):
+                    break
+            for thread in holders:
+                thread.join(timeout=120)
+            assert raw_response.startswith(b"HTTP/1.1 429"), raw_response[:80]
+            head, _, payload = raw_response.partition(b"\r\n\r\n")
+            headers = {
+                line.split(b":", 1)[0].strip().lower(): line.split(b":", 1)[1].strip()
+                for line in head.split(b"\r\n")[1:]
+            }
+            # RFC-valid header: a non-negative integer, rounded UP from the hint.
+            assert headers[b"retry-after"].isdigit()
+            hint = json.loads(payload)["retry_after_seconds"]
+            assert isinstance(hint, float)
+            assert hint == 2.5  # max_wait_ms / 1000, fractional
+            assert int(headers[b"retry-after"]) == 3  # ceil(2.5)
+        finally:
+            handle.stop()
+
+
+class TestHeaderParsingHardening:
+    """Request-smuggling-adjacent parsing fixes: duplicate Content-Length
+    and colon-less header lines must be refused, not guessed at."""
+
+    def _raw_exchange(self, handle, request: bytes) -> bytes:
+        import socket
+
+        with socket.create_connection((handle.host, handle.port), timeout=10) as raw:
+            raw.sendall(request)
+            raw.settimeout(10)
+            return raw.recv(65536)
+
+    def test_duplicate_content_length_answers_400(self):
+        _server, handle = _start_server()
+        try:
+            response = self._raw_exchange(
+                handle,
+                b"POST /cluster HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 4\r\nContent-Length: 11\r\n\r\n"
+                b"{}",
+            )
+            assert response.startswith(b"HTTP/1.1 400")
+            assert b"duplicate Content-Length" in response
+        finally:
+            handle.stop()
+
+    def test_colonless_header_line_answers_400(self):
+        _server, handle = _start_server()
+        try:
+            response = self._raw_exchange(
+                handle,
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\nBogusHeaderNoColon\r\n\r\n",
+            )
+            assert response.startswith(b"HTTP/1.1 400")
+            assert b"no colon" in response
+        finally:
+            handle.stop()
+
+    def test_empty_header_name_answers_400(self):
+        _server, handle = _start_server()
+        try:
+            response = self._raw_exchange(
+                handle,
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n: stray-value\r\n\r\n",
+            )
+            assert response.startswith(b"HTTP/1.1 400")
+        finally:
+            handle.stop()
+
+    def test_duplicate_benign_headers_still_accepted(self):
+        _server, handle = _start_server()
+        try:
+            response = self._raw_exchange(
+                handle,
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                b"X-Trace: a\r\nX-Trace: b\r\n\r\n",
+            )
+            assert response.startswith(b"HTTP/1.1 200")
+        finally:
+            handle.stop()
+
     def test_mixed_config_groups_time_fits_separately(self):
         async def runner(config, matrices):
             await asyncio.sleep(0.1 if config.prefix == 1 else 0.0)

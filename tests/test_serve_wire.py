@@ -1,0 +1,334 @@
+"""Tests for the binary matrix transport (`repro.serve.wire`).
+
+Unit-level: frame round trips across dtypes and memory orders, the
+zero-copy guarantee of the decoder, malformed-frame rejection, and the
+response-envelope byte-identity contract.  Integration-level: a live
+server accepting/emitting ``application/x-repro-matrix``, binary and JSON
+submissions of the same matrix hitting the same cache entry, 400 (never
+500) on truncated/oversized bodies, and 415 + transparent client fallback
+when the transport is disabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import ClusteringConfig
+from repro.cache import clear_result_caches, matrix_fingerprint
+from repro.datasets.synthetic import make_time_series_dataset
+from repro.parallel import shm
+from repro.serve import (
+    WIRE_CONTENT_TYPE,
+    ClusteringServer,
+    ServeClient,
+    ServerError,
+    WireFormatError,
+    wire,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_result_caches()
+    yield
+    clear_result_caches()
+
+
+@pytest.fixture(scope="module")
+def series():
+    return make_time_series_dataset(
+        num_objects=36, length=32, num_classes=3, noise=1.0, seed=19
+    ).data
+
+
+def _start_server(**kwargs):
+    defaults = dict(
+        port=0,
+        default_config=ClusteringConfig(cache=True, num_clusters=3, prefix=2),
+        max_batch_size=16,
+        max_wait_ms=20.0,
+        fit_workers=2,
+    )
+    defaults.update(kwargs)
+    server = ClusteringServer(**defaults)
+    return server, server.start_in_background()
+
+
+# ---------------------------------------------------------------------------
+# Frame round trips
+# ---------------------------------------------------------------------------
+
+
+class TestMatrixFrames:
+    @pytest.mark.parametrize(
+        "dtype", ["<f8", "<f4", "<i8", "<i4", "<i2", "<u4", "|u1", "|b1"]
+    )
+    def test_round_trip_across_dtypes(self, dtype):
+        rng = np.random.default_rng(7)
+        matrix = (rng.normal(size=(9, 5)) * 10).astype(np.dtype(dtype))
+        decoded, header = wire.decode_matrix(wire.encode_matrix(matrix))
+        assert decoded.dtype == matrix.dtype
+        assert np.array_equal(decoded, matrix)
+        assert header["shape"] == [9, 5]
+
+    def test_fortran_order_input_round_trips_as_c_order(self):
+        matrix = np.asfortranarray(np.arange(24.0).reshape(4, 6))
+        assert not matrix.flags.c_contiguous
+        decoded, _header = wire.decode_matrix(wire.encode_matrix(matrix))
+        assert decoded.flags.c_contiguous
+        assert np.array_equal(decoded, matrix)
+
+    def test_big_endian_input_is_byte_swapped_on_encode(self):
+        matrix = np.arange(6.0).reshape(2, 3).astype(">f8")
+        decoded, header = wire.decode_matrix(wire.encode_matrix(matrix))
+        assert header["dtype"] == "<f8"
+        assert np.array_equal(decoded, matrix.astype("<f8"))
+
+    def test_empty_and_zero_size_shapes(self):
+        decoded, _ = wire.decode_matrix(wire.encode_matrix(np.empty((0, 4))))
+        assert decoded.shape == (0, 4)
+
+    def test_decode_is_zero_copy(self):
+        """The acceptance-criteria no-copy assertion: the decoded matrix is
+        a read-only view over the request body's bytes, not a copy."""
+        matrix = np.random.default_rng(3).normal(size=(32, 16))
+        body = wire.encode_matrix(matrix)
+        decoded, _header = wire.decode_matrix(body)
+        body_bytes = np.frombuffer(body, dtype=np.uint8)
+        assert np.shares_memory(decoded, body_bytes)
+        assert not decoded.flags.owndata
+        assert not decoded.flags.writeable
+        # The view lies entirely inside the body buffer.
+        body_start = body_bytes.__array_interface__["data"][0]
+        view_start = decoded.__array_interface__["data"][0]
+        assert body_start <= view_start
+        assert view_start + decoded.nbytes <= body_start + len(body)
+
+    def test_decoded_view_fingerprints_without_copy_and_matches(self):
+        matrix = np.random.default_rng(5).normal(size=(20, 10))
+        decoded, _ = wire.decode_matrix(wire.encode_matrix(matrix))
+        # matrix_fingerprint hashes the read-only view through the buffer
+        # protocol; the key must equal the owned-copy key (cache sharing).
+        assert matrix_fingerprint(decoded) == matrix_fingerprint(matrix.copy())
+
+    def test_decoded_view_flows_into_shared_memory(self):
+        if not shm.shared_memory_available():
+            pytest.skip("no usable shared memory on this platform")
+        decoded, _ = wire.decode_matrix(
+            wire.encode_matrix(np.arange(12.0).reshape(3, 4))
+        )
+        with shm.SharedMatrixArena() as arena:
+            ref = arena.share(decoded)  # read-only input: the shm write is the only copy
+            assert np.array_equal(shm.open_matrix(ref), decoded)
+
+    def test_arena_accepts_fortran_order_without_intermediate(self):
+        if not shm.shared_memory_available():
+            pytest.skip("no usable shared memory on this platform")
+        matrix = np.asfortranarray(np.arange(20.0).reshape(4, 5))
+        with shm.SharedMatrixArena() as arena:
+            assert np.array_equal(shm.open_matrix(arena.share(matrix)), matrix)
+
+    def test_request_frame_carries_config(self):
+        body = wire.encode_request(np.ones((3, 3)), {"num_clusters": 2, "prefix": 1})
+        matrix, config = wire.decode_request(body)
+        assert matrix.shape == (3, 3)
+        assert config == {"num_clusters": 2, "prefix": 1}
+        _matrix, empty = wire.decode_request(wire.encode_request(np.ones((3, 3))))
+        assert empty == {}
+
+
+class TestMalformedFrames:
+    def test_truncated_payload_rejected(self):
+        body = wire.encode_matrix(np.ones((4, 4)))
+        with pytest.raises(WireFormatError, match="truncated"):
+            wire.decode_matrix(body[:-8])
+
+    def test_oversized_payload_rejected(self):
+        body = wire.encode_matrix(np.ones((4, 4)))
+        with pytest.raises(WireFormatError, match="oversized"):
+            wire.decode_matrix(body + b"\x00" * 8)
+
+    def test_bad_magic_version_and_header(self):
+        body = wire.encode_matrix(np.ones((2, 2)))
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.decode_matrix(b"XXXX" + body[4:])
+        with pytest.raises(WireFormatError, match="version"):
+            wire.decode_matrix(body[:4] + b"\x63" + body[5:])
+        with pytest.raises(WireFormatError, match="shorter"):
+            wire.decode_matrix(b"RPRM")
+        with pytest.raises(WireFormatError, match="exceeds"):
+            wire.decode_frame(body[:10] + b"\xff\xff" + body[12:])
+        # header_len below the cap but past the end of the frame
+        import struct
+
+        patched = body[:8] + struct.pack("<I", len(body)) + body[12:]
+        with pytest.raises(WireFormatError, match="truncated inside the header"):
+            wire.decode_frame(patched)
+
+    def test_hostile_headers_rejected(self):
+        for header in (
+            {"dtype": "<f8", "shape": "nope"},
+            {"dtype": "<f8", "shape": [-1, 4]},
+            {"dtype": "<f8", "shape": [2.5]},
+            {"dtype": "<f8", "shape": [1] * 9},
+            {"dtype": ">f8", "shape": [2, 2]},
+            {"dtype": "O", "shape": [2, 2]},
+            {"dtype": "<U8", "shape": [2, 2]},
+            {"dtype": 12, "shape": [2, 2]},
+            {"dtype": "<f8", "shape": [10**9, 10**9]},  # absurd size vs body
+        ):
+            with pytest.raises(WireFormatError):
+                wire.decode_matrix(wire.encode_frame(header, b"\x00" * 32))
+
+    def test_non_json_header_rejected(self):
+        import struct
+
+        prefix = struct.pack("<4sB3xI", b"RPRM", 1, 5)
+        with pytest.raises(WireFormatError, match="JSON"):
+            wire.decode_frame(prefix + b"{oops")
+
+    def test_object_dtype_refused_on_encode(self):
+        with pytest.raises(WireFormatError, match="dtype"):
+            wire.encode_matrix(np.array([{"a": 1}], dtype=object))
+
+
+class TestEnvelopeFrames:
+    def test_round_trip_is_byte_identical(self):
+        envelope = {
+            "result": {
+                "method": "tmfg-dbht",
+                "config": {"prefix": 2},
+                "labels": [2, 0, 1, 1, 0],
+                "num_clusters": 3,
+                "step_seconds": {"fit": 0.25},
+                "extras": {},
+            },
+            "serving": {"batch_size": 3, "queue_seconds": 0.001},
+        }
+        decoded = wire.decode_envelope(wire.encode_envelope(envelope))
+        assert json.dumps(decoded) == json.dumps(envelope)
+
+    def test_none_labels_round_trip(self):
+        envelope = {"result": {"method": "x", "labels": None}, "serving": {}}
+        decoded = wire.decode_envelope(wire.encode_envelope(envelope))
+        assert json.dumps(decoded) == json.dumps(envelope)
+
+    def test_payload_without_dtype_marker_rejected(self):
+        blob = wire.encode_frame({"envelope": {"result": {}}, "labels_dtype": None})
+        with pytest.raises(WireFormatError):
+            wire.decode_envelope(blob + b"\x00" * 8)
+
+
+# ---------------------------------------------------------------------------
+# Live-server integration
+# ---------------------------------------------------------------------------
+
+
+class TestBinaryTransportIntegration:
+    def test_binary_and_json_requests_serve_identical_results(self, series):
+        _server, handle = _start_server()
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                envelope_json = client.cluster(series)
+                envelope_binary = client.cluster(series, binary=True)
+            assert json.dumps(envelope_json["result"]) == json.dumps(
+                envelope_binary["result"]
+            )
+        finally:
+            handle.stop()
+
+    def test_binary_submission_hits_the_json_cache_entry(self, series):
+        """The fingerprint acceptance test: both transports of the same
+        matrix address the same content-addressed cache entry."""
+        _server, handle = _start_server()
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                client.cluster(series)  # JSON: fits and stores
+                before = client.metrics()["cache"]
+                client.cluster(series, binary=True)  # binary: must be a hit
+                after = client.metrics()["cache"]
+            assert after["hits"] == before["hits"] + 1
+            assert after["stores"] == before["stores"] == 1
+        finally:
+            handle.stop()
+
+    def test_binary_request_without_accept_gets_json_response(self, series):
+        _server, handle = _start_server()
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                body = client.encode_cluster_body_binary(series)
+                envelope = client.request(
+                    "POST", "/cluster", body, {"Content-Type": WIRE_CONTENT_TYPE}
+                )
+            assert envelope["result"]["num_clusters"] == 3
+        finally:
+            handle.stop()
+
+    def test_binary_config_overlay_and_float32_upcast(self, series):
+        _server, handle = _start_server()
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                envelope = client.cluster(
+                    series.astype(np.float32), config={"num_clusters": 2}, binary=True
+                )
+            assert envelope["result"]["num_clusters"] == 2
+        finally:
+            handle.stop()
+
+    def test_malformed_binary_bodies_answer_400_not_500(self, series):
+        _server, handle = _start_server()
+        headers = {"Content-Type": WIRE_CONTENT_TYPE}
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                good = client.encode_cluster_body_binary(series)
+                for bad in (good[:-16], good + b"\x00" * 16, b"RPRM", b"garbage"):
+                    with pytest.raises(ServerError) as excinfo:
+                        client.request("POST", "/cluster", bad, headers)
+                    assert excinfo.value.status == 400
+                # NaN and 1-D payloads fail validation, not with a crash.
+                nan = client.encode_cluster_body_binary(np.full((4, 4), np.nan))
+                with pytest.raises(ServerError, match="NaN") as excinfo:
+                    client.request("POST", "/cluster", nan, headers)
+                assert excinfo.value.status == 400
+                flat = wire.encode_request(np.arange(8.0))
+                with pytest.raises(ServerError, match="2-D") as excinfo:
+                    client.request("POST", "/cluster", flat, headers)
+                assert excinfo.value.status == 400
+                # The server is still healthy afterwards.
+                assert client.healthz()["status"] == "ok"
+        finally:
+            handle.stop()
+
+    def test_binary_disabled_answers_415_and_client_falls_back(self, series):
+        _server, handle = _start_server(binary=False)
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                body = client.encode_cluster_body_binary(series)
+                with pytest.raises(ServerError) as excinfo:
+                    client.request(
+                        "POST", "/cluster", body, {"Content-Type": WIRE_CONTENT_TYPE}
+                    )
+                assert excinfo.value.status == 415
+                # cluster(binary=True) notices the 415 once and renegotiates
+                # down to JSON transparently — the call still succeeds.
+                envelope = client.cluster(series, binary=True)
+                assert envelope["result"]["num_clusters"] == 3
+                assert client._server_accepts_binary is False
+        finally:
+            handle.stop()
+
+    def test_reserved_config_fields_rejected_on_binary_route(self, series, tmp_path):
+        _server, handle = _start_server()
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                body = wire.encode_request(series, {"cache_dir": str(tmp_path / "evil")})
+                with pytest.raises(ServerError, match="operator-controlled") as excinfo:
+                    client.request(
+                        "POST", "/cluster", body, {"Content-Type": WIRE_CONTENT_TYPE}
+                    )
+                assert excinfo.value.status == 400
+        finally:
+            handle.stop()
