@@ -28,15 +28,27 @@ tax the binary format removes.  The binary/JSON RPS ratio at the largest
 size is gated by ``--min-binary-speedup`` (default 1.5x), and the two
 transports' ``result`` payloads are asserted byte-identical::
 
+A third section (``--replica-sweep 1,2,4``) measures the multi-process
+fleet: aggregate RPS/p99 of a cache-hit closed loop against ``repro serve
+--workers N`` at each replica count, with distinct matrices spread over
+the consistent-hash ring.  Scaling bounds (2 replicas ≥ 1.7x, 4 ≥ 2.5x
+the 1-replica fleet) are asserted only on hosts with at least that many
+cores; the report always records the measured numbers plus ``cpu_count``.
+The sweep also asserts routed-vs-direct byte identity of the ``result``
+payload on both transports through a shared ``--cache-dir``::
+
     PYTHONPATH=src python benchmarks/bench_serve.py
     PYTHONPATH=src python benchmarks/bench_serve.py --assets 80 --clients 8 --requests 12 --json out.json
     PYTHONPATH=src python benchmarks/bench_serve.py --binary   # batched-vs-unbatched loop over binary bodies
+    PYTHONPATH=src python benchmarks/bench_serve.py --replica-sweep 1,2,4
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import tempfile
 import threading
 import time
 from typing import Any, Dict, List, Optional
@@ -46,7 +58,13 @@ import numpy as np
 from repro.api import ClusteringConfig, TMFGClusterer
 from repro.cache import clear_result_caches
 from repro.datasets.synthetic import make_time_series_dataset
-from repro.serve import WIRE_CONTENT_TYPE, ClusteringServer, ServeClient, ServerBusy
+from repro.serve import (
+    WIRE_CONTENT_TYPE,
+    ClusteringServer,
+    ServeClient,
+    ServerBusy,
+    build_fleet,
+)
 
 DEFAULT_ASSETS = 120
 DEFAULT_CLIENTS = 8
@@ -63,6 +81,12 @@ BINARY_HEADERS = {"Content-Type": WIRE_CONTENT_TYPE, "Accept": WIRE_CONTENT_TYPE
 #: The transport comparison's per-request config: a cheap method, so the
 #: (cached) fit never dominates what is being measured — the transport.
 TRANSPORT_CONFIG = {"method": "kmeans", "num_clusters": NUM_CLUSTERS, "seed": 0}
+
+#: Replica-sweep acceptance bounds: aggregate RPS at N replicas over the
+#: 1-replica fleet.  Only asserted when the host actually has >= N cores —
+#: N python replicas cannot outrun one on a single-core box, and a bench
+#: that asserts otherwise just measures the machine, not the fleet.
+FLEET_GATES = {2: 1.7, 4: 2.5}
 
 
 def _series(num_assets: int, seed: int = 42) -> np.ndarray:
@@ -239,6 +263,164 @@ def _measure_transports(
     return rows
 
 
+def _drive_fleet(
+    host: str,
+    port: int,
+    bodies: List[bytes],
+    clients: int,
+    requests_per_client: int,
+) -> Dict[str, Any]:
+    """Closed-loop load over *distinct* pre-encoded JSON bodies.
+
+    Identical bodies all hash to one replica (that is the point of the
+    affinity ring), so a fleet sweep must mix distinct matrices to spread
+    load; each client walks the body list from its own offset so the
+    per-replica arrival order differs without any shared state."""
+    latencies_ms: List[float] = []
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client_loop(index: int) -> None:
+        local: List[float] = []
+        try:
+            with ServeClient(host, port, timeout=300.0) as client:
+                barrier.wait(timeout=60)
+                for i in range(requests_per_client):
+                    body = bodies[(index + i) % len(bodies)]
+                    start = time.perf_counter()
+                    while True:
+                        try:
+                            client.request("POST", "/cluster", body)
+                            break
+                        except ServerBusy as busy:
+                            time.sleep(max(busy.retry_after, 0.05))
+                    local.append((time.perf_counter() - start) * 1000.0)
+        except BaseException as error:  # pragma: no cover - reported below
+            with lock:
+                errors.append(error)
+            return
+        with lock:
+            latencies_ms.extend(local)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,)) for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - wall_start
+    if errors:
+        raise RuntimeError(f"fleet load generation failed: {errors[0]!r}") from errors[0]
+    ordered = sorted(latencies_ms)
+    completed = len(ordered)
+    return {
+        "clients": clients,
+        "requests": completed,
+        "wall_seconds": round(wall_seconds, 4),
+        "rps": round(completed / wall_seconds, 2) if wall_seconds > 0 else 0.0,
+        "p50_ms": round(_percentile(ordered, 0.50), 2),
+        "p99_ms": round(_percentile(ordered, 0.99), 2),
+    }
+
+
+def _measure_fleet_sweep(
+    replica_counts: List[int],
+    num_assets: int,
+    distinct: int,
+    clients: int,
+    requests_per_client: int,
+) -> List[Dict[str, Any]]:
+    """Aggregate RPS/p99 vs replica count behind the consistent-hash router.
+
+    Cache-hit workload: every distinct matrix is POSTed once to warm its
+    home replica, then the closed loop replays the same bodies — each
+    request pays HTTP + JSON decode + fingerprint + cache lookup on the
+    replica, the per-core cost horizontal replicas exist to multiply."""
+    matrices = [_series(num_assets, seed=900 + i) for i in range(distinct)]
+    encoder = ServeClient()
+    bodies = [encoder.encode_cluster_body(m, TRANSPORT_CONFIG) for m in matrices]
+    rows: List[Dict[str, Any]] = []
+    for workers in replica_counts:
+        fleet = build_fleet(
+            workers, ["--max-wait-ms", "2", "--fit-workers", "2"],
+            port=0, stagger_seconds=0.1,
+        )
+        handle = fleet.start_in_background()
+        try:
+            with ServeClient(handle.host, handle.port, timeout=300.0) as warm:
+                warm.wait_healthy(120)
+                for body in bodies:
+                    warm.request("POST", "/cluster", body)
+            stats = _drive_fleet(
+                handle.host, handle.port, bodies, clients, requests_per_client
+            )
+            with ServeClient(handle.host, handle.port) as scrape:
+                metrics = scrape.metrics()
+        finally:
+            handle.stop()
+        stats["workers"] = workers
+        stats["routed_total"] = {
+            name: doc["routed_total"] for name, doc in metrics["replicas"].items()
+        }
+        stats["restarts_total"] = metrics["fleet"]["restarts_total"]
+        stats["failovers_total"] = metrics["fleet"]["failovers_total"]
+        rows.append(stats)
+    base_rps = rows[0]["rps"] if rows else 0.0
+    for row in rows:
+        row["speedup_vs_single"] = (
+            round(row["rps"] / base_rps, 2) if base_rps > 0 else float("inf")
+        )
+    return rows
+
+
+def _fleet_identity_check(matrix: np.ndarray) -> Dict[str, bool]:
+    """Routed-vs-direct byte identity through a shared ``--cache-dir``.
+
+    The direct single-process server fits and stores the entry; the fleet
+    replicas (separate processes) serve the *same disk entry*, so the
+    ``result`` payload — per-fit timings included — must match the direct
+    response byte-for-byte on both transports."""
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-cache-") as cache_dir:
+        clear_result_caches()
+        direct_server = ClusteringServer(
+            port=0,
+            default_config=ClusteringConfig(cache=True, cache_dir=cache_dir),
+            max_wait_ms=2.0,
+        )
+        handle = direct_server.start_in_background()
+        try:
+            with ServeClient(handle.host, handle.port) as client:
+                direct_json = client.cluster(matrix, config=TRANSPORT_CONFIG)
+                direct_binary = client.cluster(matrix, config=TRANSPORT_CONFIG, binary=True)
+        finally:
+            handle.stop()
+        clear_result_caches()
+        fleet = build_fleet(
+            2, ["--cache-dir", cache_dir, "--max-wait-ms", "2"],
+            port=0, stagger_seconds=0.1,
+        )
+        fleet_handle = fleet.start_in_background()
+        try:
+            with ServeClient(fleet_handle.host, fleet_handle.port) as client:
+                client.wait_healthy(120)
+                routed_json = client.cluster(matrix, config=TRANSPORT_CONFIG)
+                routed_binary = client.cluster(matrix, config=TRANSPORT_CONFIG, binary=True)
+        finally:
+            fleet_handle.stop()
+    return {
+        "json_result_byte_identical": (
+            json.dumps(routed_json["result"]) == json.dumps(direct_json["result"])
+        ),
+        "binary_result_byte_identical": (
+            json.dumps(routed_binary["result"]) == json.dumps(direct_binary["result"])
+        ),
+    }
+
+
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--assets", type=int, default=DEFAULT_ASSETS)
@@ -263,6 +445,17 @@ def main(argv=None) -> dict:
     parser.add_argument("--min-binary-speedup", type=float, default=DEFAULT_MIN_BINARY_SPEEDUP,
                         help="required binary/JSON RPS ratio at the largest transport "
                         f"size (default {DEFAULT_MIN_BINARY_SPEEDUP}x)")
+    parser.add_argument("--replica-sweep", default="",
+                        help="comma-separated replica counts for the multi-process "
+                        "fleet sweep behind the consistent-hash router (e.g. 1,2,4; "
+                        "empty string skips it)")
+    parser.add_argument("--fleet-distinct", type=int, default=16,
+                        help="distinct matrices the fleet sweep spreads over the "
+                        "hash ring (default 16)")
+    parser.add_argument("--no-fleet-gate", action="store_true",
+                        help="record the fleet sweep without asserting the scaling "
+                        "bounds (they are also skipped automatically on hosts with "
+                        "fewer cores than replicas)")
     parser.add_argument("--json", default=None, help="also write the report to this file")
     args = parser.parse_args(argv)
 
@@ -328,6 +521,24 @@ def main(argv=None) -> dict:
     )
     byte_identical = json.dumps(envelope["result"]) == direct.to_json()
 
+    replica_counts = [int(s) for s in args.replica_sweep.split(",") if s.strip()]
+    fleet_sweep = (
+        _measure_fleet_sweep(
+            replica_counts, args.assets, args.fleet_distinct,
+            args.clients, args.requests,
+        )
+        if replica_counts
+        else []
+    )
+    fleet_identity = _fleet_identity_check(matrix) if replica_counts else None
+    cores = os.cpu_count() or 1
+    for row in fleet_sweep:
+        gate = FLEET_GATES.get(row["workers"])
+        row["gate"] = gate
+        row["gate_applied"] = (
+            gate is not None and not args.no_fleet_gate and cores >= row["workers"]
+        )
+
     speedup = (
         batched["rps"] / unbatched["rps"] if unbatched["rps"] > 0 else float("inf")
     )
@@ -347,6 +558,19 @@ def main(argv=None) -> dict:
             "requests_per_client": args.requests,
             "min_binary_speedup": args.min_binary_speedup,
             "sizes": transport,
+        },
+        "fleet": {
+            "workload": (
+                "cache-hit closed loop over distinct matrices, hash-spread "
+                "across replicas behind the consistent-hash router"
+            ),
+            "cpu_count": os.cpu_count(),
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "distinct_matrices": args.fleet_distinct,
+            "gates": {str(workers): gate for workers, gate in FLEET_GATES.items()},
+            "sweep": fleet_sweep,
+            "identity": fleet_identity,
         },
     }
     import benchlib
@@ -368,6 +592,20 @@ def main(argv=None) -> dict:
             f"binary transport gave only {largest['binary_speedup_rps']:.2f}x over JSON "
             f"at {largest['num_assets']} assets (required {args.min_binary_speedup}x)"
         )
+    if fleet_identity is not None:
+        assert fleet_identity["json_result_byte_identical"], (
+            "the routed JSON response diverged from the direct single-replica response"
+        )
+        assert fleet_identity["binary_result_byte_identical"], (
+            "the routed binary response diverged from the direct single-replica response"
+        )
+    for row in fleet_sweep:
+        if row["gate_applied"]:
+            assert row["speedup_vs_single"] >= row["gate"], (
+                f"{row['workers']} replicas gave only {row['speedup_vs_single']:.2f}x "
+                f"the single-replica RPS (required {row['gate']}x on this "
+                f"{cores}-core host)"
+            )
     return report
 
 

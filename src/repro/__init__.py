@@ -40,7 +40,7 @@ from repro.core.tmfg import TMFGResult, construct_tmfg
 from repro.dendrogram import Dendrogram, cut_height, cut_k
 from repro.metrics import adjusted_mutual_information, adjusted_rand_index
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ClusteringConfig",

@@ -311,11 +311,80 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_replica_argv(args: argparse.Namespace) -> list:
+    """The ``repro serve`` flags one fleet replica inherits from the
+    parent invocation (everything except --host/--port/--workers, which
+    the supervisor owns)."""
+    argv = [
+        "--max-batch-size", str(args.max_batch_size),
+        "--max-wait-ms", str(args.max_wait_ms),
+        "--max-queue", str(args.max_queue),
+        "--fit-workers", str(args.fit_workers),
+        "--binary" if args.binary else "--no-binary",
+    ]
+    for flag, value in (
+        ("--clusters", args.clusters),
+        ("--method", args.method),
+        ("--prefix", args.prefix),
+        ("--kernel", args.kernel),
+        ("--apsp-method", args.apsp_method),
+        ("--landmarks", args.landmarks),
+        ("--backend", args.backend),
+        ("--config", args.config),
+        ("--cache-dir", args.cache_dir),
+    ):
+        if value is not None:
+            argv += [flag, str(value)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return argv
+
+
+def _command_serve_fleet(args: argparse.Namespace) -> int:
+    from repro.serve.fleet import build_fleet
+
+    try:
+        # Validate the shared config up front so bad flags fail fast here
+        # instead of crash-looping N replicas.
+        config = _config_from_args(args, ClusteringConfig(cache=True))
+        fleet = build_fleet(args.replicas, _serve_replica_argv(args), args.host, args.port)
+    except (ValueError, OSError) as error:
+        _print_cli_error(error)
+        return 2
+
+    def _announce(ready) -> None:
+        print(
+            f"repro serve fleet listening on http://{ready.host}:{ready.port} "
+            f"(workers={args.replicas}, method={config.method}, "
+            f"cache={'on' if config.cache else 'off'}, "
+            f"binary={'on' if args.binary else 'off'})",
+            flush=True,
+        )
+
+    try:
+        fleet.run(on_ready=_announce)
+    except OSError as error:  # e.g. port already bound
+        print(f"repro serve failed to start: {error}", file=sys.stderr)
+        return 1
+    except (TimeoutError, RuntimeError) as error:
+        print(f"repro serve fleet failed to become ready: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; exit quietly
+    print("repro serve fleet drained and stopped", flush=True)
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     # Imported here: the serving layer pulls in asyncio machinery no other
     # subcommand needs.
     from repro.serve.server import ClusteringServer
 
+    if args.replicas < 1:
+        _print_cli_error(ValueError("--workers must be at least 1"))
+        return 2
+    if args.replicas > 1:
+        return _command_serve_fleet(args)
     try:
         config = _config_from_args(args, ClusteringConfig(cache=True))
         server = ClusteringServer(
@@ -379,8 +448,13 @@ def _command_list_methods(_: argparse.Namespace) -> int:
     return 0
 
 
-def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
-    """The kernel/backend/workers flags shared by cluster and stream."""
+def _add_execution_flags(parser: argparse.ArgumentParser, include_workers: bool = True) -> None:
+    """The kernel/backend/workers flags shared by cluster and stream.
+
+    ``include_workers=False`` leaves ``--workers`` out so a subcommand can
+    claim that spelling for itself (serve uses it for the replica count;
+    its backend worker count is still settable via ``--config``).
+    """
     parser.add_argument(
         "--kernel",
         choices=KERNEL_NAMES,
@@ -409,12 +483,13 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="parallel backend for the APSP source chunks (default: serial)",
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker count for the thread/process backend (default: cpu count)",
-    )
+    if include_workers:
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker count for the thread/process backend (default: cpu count)",
+        )
     parser.add_argument(
         "--config",
         default=None,
@@ -569,7 +644,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="JSON-only surface: answer 415 to binary matrix bodies",
     )
-    _add_execution_flags(serve)
+    serve.add_argument(
+        "--workers",
+        dest="replicas",
+        type=int,
+        default=1,
+        help=(
+            "replica count: 1 (default) serves in-process; N>=2 runs N supervised "
+            "replica processes behind one consistent-hash router on --port"
+        ),
+    )
+    _add_execution_flags(serve, include_workers=False)
     serve.set_defaults(func=_command_serve)
 
     figure = subparsers.add_parser("figure", help="re-run one of the paper's figures")

@@ -16,6 +16,11 @@ cache's hit-rate.  Matrices travel either as JSON or as the raw binary
 ``application/x-repro-matrix`` frames of :mod:`repro.serve.wire`, which
 the server decodes zero-copy into the fingerprint/shared-memory path.
 
+``repro serve --workers N`` (N >= 2) scales the same contract
+horizontally: :mod:`repro.serve.fleet` supervises N single-process
+replicas on ephemeral ports behind one consistent-hash router, so clients
+still see one endpoint with byte-identical responses.
+
 Programmatic use::
 
     from repro.serve import ClusteringServer, ServeClient
@@ -32,12 +37,16 @@ from repro.serve.batcher import (
     ServiceStopping,
 )
 from repro.serve.client import ServeClient, ServerBusy, ServerError
+from repro.serve.fleet import FleetRouter, ReplicaSupervisor, build_fleet
 from repro.serve.metrics import LatencyHistogram, ServerMetrics
 from repro.serve.server import ClusteringServer, ServerHandle
 from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError
 
 __all__ = [
     "ClusteringServer",
+    "FleetRouter",
+    "ReplicaSupervisor",
+    "build_fleet",
     "ServerHandle",
     "ServeClient",
     "ServerBusy",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from typing import Any, Dict, Optional
@@ -35,6 +36,20 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError, decode_envelope, encode_request
+
+#: Fractional spread applied to every 429 retry sleep.  A saturated
+#: replica rejects a whole burst of closed-loop clients at once and hands
+#: each the same ``retry_after_seconds``; without jitter they all come
+#: back in lockstep and re-stampede the queue on the same tick.
+RETRY_JITTER_FRACTION = 0.2
+
+
+def jittered_backoff(seconds: float, rng: Optional[random.Random] = None) -> float:
+    """``seconds`` scaled by a uniform factor in ``[0.8, 1.2]`` (±20%)."""
+    generator = rng if rng is not None else random
+    return max(0.0, seconds) * generator.uniform(
+        1.0 - RETRY_JITTER_FRACTION, 1.0 + RETRY_JITTER_FRACTION
+    )
 
 #: Methods a stale keep-alive socket may transparently retry: safe to
 #: replay because the server performs no work on their behalf.  A POST is
@@ -213,8 +228,10 @@ class ServeClient:
         ``config`` is a partial :meth:`ClusteringConfig.to_dict` payload
         overlaid onto the server's default config.  With ``retries``, a
         429 is retried after the server's ``retry_after_seconds`` hint (or
-        ``retry_backoff`` if larger), which is how a polite closed-loop
-        client behaves under admission control.  Connection failures are
+        ``retry_backoff`` if larger) scaled by ±20% random jitter — a
+        burst of clients rejected together must not re-stampede the queue
+        in lockstep — which is how a polite closed-loop client behaves
+        under admission control.  Connection failures are
         never transparently retried on this path — the first attempt may
         already have been admitted server-side, and replaying it would
         double-submit the job; they propagate to the caller.
@@ -241,7 +258,7 @@ class ServeClient:
             except ServerBusy as busy:
                 if attempt == attempts - 1:
                     raise
-                time.sleep(max(busy.retry_after, retry_backoff))
+                time.sleep(jittered_backoff(max(busy.retry_after, retry_backoff)))
             except ServerError as error:
                 if use_binary and error.status == 415:
                     self._server_accepts_binary = False

@@ -1,0 +1,27 @@
+"""``repro serve --workers N``: a supervised replica fleet behind one port.
+
+Three parts, composed by :func:`build_fleet`:
+
+* :mod:`~repro.serve.fleet.ring` — rendezvous consistent hashing and the
+  per-request affinity key;
+* :mod:`~repro.serve.fleet.supervisor` — :class:`ReplicaSupervisor`,
+  which spawns and babysits N single-process ``repro serve`` replicas on
+  ephemeral loopback ports;
+* :mod:`~repro.serve.fleet.router` — :class:`FleetRouter`, the public
+  asyncio proxy that hash-routes ``POST /cluster`` bodies to replicas and
+  aggregates fleet ``/healthz`` and ``/metrics``.
+"""
+
+from repro.serve.fleet.ring import rendezvous_rank, request_affinity_key, spread
+from repro.serve.fleet.router import FleetRouter, build_fleet
+from repro.serve.fleet.supervisor import ReplicaInfo, ReplicaSupervisor
+
+__all__ = [
+    "FleetRouter",
+    "ReplicaInfo",
+    "ReplicaSupervisor",
+    "build_fleet",
+    "rendezvous_rank",
+    "request_affinity_key",
+    "spread",
+]

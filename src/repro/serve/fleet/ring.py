@@ -1,0 +1,88 @@
+"""Consistent hashing for the fleet router.
+
+Two pieces:
+
+* :func:`rendezvous_rank` — highest-random-weight (rendezvous) hashing:
+  every ``(key, member)`` pair gets a stable pseudo-random score and a
+  key's preference order is the members sorted by that score.  Unlike a
+  modulo scheme, removing one member only remaps the keys that ranked it
+  first (each inherits its *second* choice, which is exactly the router's
+  failover target), and a restarted replica gets its old keys back — the
+  property that keeps per-replica LRU caches hot across restarts.
+* :func:`request_affinity_key` — the routing key of one ``POST /cluster``
+  body.  Binary (``application/x-repro-matrix``) bodies are decoded
+  zero-copy so the key is the *content* fingerprint (matrix bytes +
+  config payload — the same identity the result cache keys on); JSON
+  bodies hash their raw bytes, which is cheaper than a full parse and
+  still maps identical re-sent requests onto one replica.
+
+Everything here is pure and deterministic: no clocks, no randomness, no
+state — the ring is recomputed per request from the live member list, so
+membership changes (crash, restart, drain) take effect immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.cache.fingerprint import config_fingerprint, matrix_fingerprint
+from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError, decode_request
+
+
+def _score(key: str, member: str) -> int:
+    """The stable rendezvous weight of ``member`` for ``key``."""
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(member.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(key.encode("utf-8"))
+    return int.from_bytes(digest.digest(), "big")
+
+
+def rendezvous_rank(key: str, members: Sequence[str]) -> List[str]:
+    """``members`` in preference order for ``key`` (highest score first).
+
+    The first element is the key's home replica; the rest are its
+    failover order.  Deterministic for a given ``(key, members)`` pair and
+    stable under membership change: members that stay keep their relative
+    order, so removing the home replica promotes the old second choice.
+    """
+    return sorted(set(members), key=lambda member: (_score(key, member), member), reverse=True)
+
+
+def request_affinity_key(body: bytes, media_type: str = "") -> str:
+    """The consistent-hash routing key of one ``POST /cluster`` body.
+
+    Binary wire frames are decoded (zero-copy) down to the same
+    content identity the result cache uses — matrix fingerprint plus the
+    request's config payload — so re-encoded but identical binary
+    submissions share a replica.  JSON bodies (and undecodable garbage,
+    which any replica will 400) key on their raw bytes: a client
+    re-sending the same encoded body always lands on the same replica,
+    which is the locality the per-replica in-memory cache needs.
+    """
+    if media_type == WIRE_CONTENT_TYPE:
+        try:
+            matrix, config_payload = decode_request(bytes(body))
+            return "content:" + _content_key(matrix, config_payload)
+        except WireFormatError:
+            pass  # malformed frame: fall through to raw-bytes keying
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(body)
+    return "raw:" + digest.hexdigest()
+
+
+def _content_key(matrix: np.ndarray, config_payload: Dict[str, Any]) -> str:
+    return matrix_fingerprint(np.asarray(matrix)) + ":" + config_fingerprint(dict(config_payload))
+
+
+def spread(keys: Sequence[str], members: Sequence[str]) -> Dict[str, int]:
+    """How many of ``keys`` rank each member first (load-balance preview)."""
+    counts = {member: 0 for member in members}
+    for key in keys:
+        ranked = rendezvous_rank(key, members)
+        if ranked:
+            counts[ranked[0]] += 1
+    return counts

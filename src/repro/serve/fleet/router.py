@@ -1,0 +1,488 @@
+"""The fleet front door: one port, N replicas, consistent-hash routing.
+
+:class:`FleetRouter` is an asyncio HTTP proxy that makes a supervised
+replica pool look exactly like one ``repro serve`` daemon:
+
+* ``POST /cluster`` — the router reads the body, derives its affinity key
+  (:func:`~repro.serve.fleet.ring.request_affinity_key` — for binary
+  frames that is the zero-copy content fingerprint, for JSON the raw body
+  hash), ranks the *ready* replicas with rendezvous hashing, and proxies
+  the request bytes through unmodified.  Identical traffic therefore
+  always lands on the same replica, which keeps that replica's in-memory
+  result cache hot — the fleet-level analogue of the cache-locality the
+  single process gets for free.
+* **failover** — if the chosen replica fails mid-exchange (crashed, being
+  restarted), the router retries once on the next ring node.  The retry
+  is safe because a clustering POST is a deterministic pure computation
+  against a content-addressed cache: re-dispatching a request whose
+  first attempt may already have been fitted can only recompute (or
+  cache-hit) the same bytes, never corrupt state — which is what makes
+  this POST idempotent-safe where a generic write would not be.
+* ``GET /healthz`` / ``GET /metrics`` — answered by the router itself:
+  fleet health is the ready-replica count, fleet metrics aggregate the
+  router's own counters (routed-per-replica, failovers, proxy errors)
+  with a live ``/metrics`` scrape of every ready replica (requests,
+  429s, cache hit-rate) plus the supervisor's restart counters.
+
+Responses are forwarded byte-for-byte: what a client receives through
+the router is exactly what the replica produced, so routed and direct
+responses are byte-identical for both transports.
+
+Shutdown drains outside-in: SIGTERM stops the accept loop, in-flight
+proxied requests finish, and only then are the replicas SIGTERMed (each
+drains its own admitted requests before exiting).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+from http import HTTPStatus
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro import __version__
+from repro.serve.fleet.ring import rendezvous_rank, request_affinity_key
+from repro.serve.fleet.supervisor import ReplicaInfo, ReplicaSupervisor
+from repro.serve.httpio import (
+    HEADER_LIMIT,
+    BadRequest,
+    Request,
+    http_fetch,
+    read_request,
+    render_response,
+)
+from repro.serve.server import ServerHandle
+
+#: Connection-scoped headers the proxy must not forward verbatim.
+_HOP_HEADERS = frozenset({"host", "connection", "content-length", "expect", "keep-alive"})
+
+
+class FleetRouter:
+    """Consistent-hash router over a :class:`ReplicaSupervisor` pool.
+
+    Parameters
+    ----------
+    supervisor:
+        The replica pool; started/stopped by this router's lifecycle.
+    host / port:
+        Public bind address; port ``0`` picks an ephemeral port,
+        published on :attr:`port` once listening.
+    proxy_timeout:
+        Bound on one router->replica exchange (covers the fit).
+    failover_attempts:
+        Ring nodes tried per request (2 = home replica + one retry).
+    no_replica_grace:
+        How long a request waits for *any* ready replica (e.g. the whole
+        pool mid-restart) before the router answers 503.
+    ready_timeout:
+        Startup bound: how long :meth:`serve` waits for the full pool to
+        become ready before failing.
+    """
+
+    def __init__(
+        self,
+        supervisor: ReplicaSupervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        proxy_timeout: float = 300.0,
+        failover_attempts: int = 2,
+        no_replica_grace: float = 5.0,
+        ready_timeout: float = 180.0,
+    ) -> None:
+        if failover_attempts < 1:
+            raise ValueError("failover_attempts must be at least 1")
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port  # replaced by the bound port once listening
+        self.proxy_timeout = proxy_timeout
+        self.failover_attempts = failover_attempts
+        self.no_replica_grace = no_replica_grace
+        self.ready_timeout = ready_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._connections: set = set()
+        self._started_clock: Optional[float] = None
+        # Router-level counters; event-loop confined, so no locks.
+        self.routed_total: Dict[str, int] = {}
+        self.responses_total: Dict[int, int] = {}
+        self.failovers_total = 0
+        self.proxy_errors_total = 0
+        self.unrouted_total = 0
+
+    # -- lifecycle (mirrors ClusteringServer) ------------------------------
+
+    def run(self, *, install_signal_handlers: bool = True, on_ready=None) -> None:
+        """Serve until SIGTERM/SIGINT (blocking; owns its event loop)."""
+        asyncio.run(
+            self.serve(install_signal_handlers=install_signal_handlers, on_ready=on_ready)
+        )
+
+    async def serve(self, *, install_signal_handlers: bool = False, on_ready=None) -> None:
+        """Spawn the pool, bind, route, and drain in the caller's loop."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._started_clock = self._loop.time()
+        await self.supervisor.start()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=HEADER_LIMIT
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        try:
+            await self.supervisor.wait_ready(timeout=self.ready_timeout)
+        except BaseException:
+            server.close()
+            await server.wait_closed()
+            await self.supervisor.stop()
+            raise
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self.request_stop)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            if self._connections:
+                # In-flight proxied requests (replica fits included) must
+                # finish before the pool is torn down: every admitted
+                # request gets its answer.
+                _done, pending = await asyncio.wait(
+                    list(self._connections), timeout=self.proxy_timeout
+                )
+                for connection in pending:  # pragma: no cover - fit overran
+                    connection.cancel()
+                if pending:
+                    await asyncio.wait(pending, timeout=5.0)
+            await self.supervisor.stop()
+
+    def request_stop(self) -> None:
+        """Begin a graceful fleet drain (signal handler / cross-thread safe)."""
+        if self._loop is None or self._stop_event is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    def start_in_background(self, timeout: float = 180.0) -> ServerHandle:
+        """Run the fleet on a daemon thread; returns once it is routable."""
+        ready = threading.Event()
+        errors: List[BaseException] = []
+
+        def _main() -> None:
+            try:
+                self.run(install_signal_handlers=False, on_ready=lambda _s: ready.set())
+            except BaseException as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+                ready.set()
+
+        thread = threading.Thread(target=_main, name="repro-serve-fleet", daemon=True)
+        thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("the fleet did not come up within the timeout")
+        if errors:
+            raise RuntimeError(f"the fleet failed to start: {errors[0]!r}") from errors[0]
+        return ServerHandle(self, thread)
+
+    # -- HTTP front door ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except BadRequest as error:
+                    writer.write(self._render(HTTPStatus.BAD_REQUEST, {"error": str(error)}))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                raw = await self._route(request)
+                writer.write(raw)
+                await writer.drain()
+                if not request.keep_alive or self._draining:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _render(
+        self,
+        status: HTTPStatus,
+        payload: Any,
+        extra_headers: Optional[Dict[str, str]] = None,
+        *,
+        head_only: bool = False,
+    ) -> bytes:
+        self.responses_total[int(status)] = self.responses_total.get(int(status), 0) + 1
+        return render_response(
+            status,
+            payload,
+            extra_headers,
+            server_token=f"repro-serve-fleet/{__version__}",
+            head_only=head_only,
+        )
+
+    async def _route(self, request: Request) -> bytes:
+        path = request.path.split("?", 1)[0]
+        if path == "/healthz" and request.method in ("GET", "HEAD"):
+            return self._render(
+                HTTPStatus.OK, self._healthz_payload(), head_only=request.method == "HEAD"
+            )
+        if path == "/metrics" and request.method in ("GET", "HEAD"):
+            payload = await self._metrics_payload()
+            return self._render(HTTPStatus.OK, payload, head_only=request.method == "HEAD")
+        if path == "/cluster":
+            return await self._proxy_cluster(request)
+        return self._render(
+            HTTPStatus.NOT_FOUND,
+            {
+                "error": f"no route {request.method} {path[:80]}; "
+                "routes: POST /cluster, GET /healthz, GET /metrics"
+            },
+        )
+
+    # -- control plane -----------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._loop is None or self._started_clock is None:
+            return 0.0
+        return self._loop.time() - self._started_clock
+
+    def _fleet_status(self, ready_count: int) -> str:
+        if self._draining:
+            return "draining"
+        if ready_count >= self.supervisor.workers:
+            return "ok"
+        return "degraded" if ready_count else "down"
+
+    def _healthz_payload(self) -> Dict[str, Any]:
+        ready = self.supervisor.ready_replicas()
+        return {
+            "status": self._fleet_status(len(ready)),
+            "role": "fleet-router",
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "workers": self.supervisor.workers,
+            "ready_replicas": len(ready),
+            "replicas": self.supervisor.status(),
+        }
+
+    async def _metrics_payload(self) -> Dict[str, Any]:
+        ready = self.supervisor.ready_replicas()
+        scrapes = await asyncio.gather(
+            *(self._scrape_replica(replica) for replica in ready)
+        )
+        replicas: Dict[str, Any] = {}
+        for status in self.supervisor.status():
+            replicas[status["id"]] = {
+                **{k: v for k, v in status.items() if k != "id"},
+                "routed_total": self.routed_total.get(status["id"], 0),
+                "metrics": None,
+            }
+        for replica, scraped in zip(ready, scrapes):
+            replicas[replica.replica_id]["metrics"] = scraped
+        return {
+            "fleet": {
+                "role": "fleet-router",
+                "version": __version__,
+                "pid": os.getpid(),
+                "uptime_seconds": round(self.uptime_seconds, 3),
+                "draining": self._draining,
+                "workers": self.supervisor.workers,
+                "ready_replicas": len(ready),
+                "restarts_total": self.supervisor.restarts_total,
+                "failovers_total": self.failovers_total,
+                "proxy_errors_total": self.proxy_errors_total,
+                "unrouted_total": self.unrouted_total,
+                "responses_total": {
+                    str(k): v for k, v in sorted(self.responses_total.items())
+                },
+            },
+            "replicas": replicas,
+        }
+
+    async def _scrape_replica(self, replica: ReplicaInfo) -> Optional[Dict[str, Any]]:
+        try:
+            status, payload = await http_fetch(
+                self.host, replica.port, "/metrics", timeout=5.0
+            )
+        except (OSError, asyncio.TimeoutError, ConnectionError):
+            return None
+        return payload if status == 200 else None
+
+    # -- data plane --------------------------------------------------------
+
+    async def _proxy_cluster(self, request: Request) -> bytes:
+        """Affinity-route one /cluster request with ring-order failover."""
+        key = request_affinity_key(request.body, request.media_type)
+        assert self._loop is not None
+        grace_deadline = self._loop.time() + self.no_replica_grace
+        tried: Set[str] = set()
+        last_error: Optional[BaseException] = None
+        for _attempt in range(self.failover_attempts):
+            target = await self._pick_replica(key, tried, grace_deadline)
+            if target is None:
+                break
+            try:
+                status, raw = await asyncio.wait_for(
+                    self._exchange(target, request), self.proxy_timeout
+                )
+            except (OSError, ConnectionError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, ValueError) as error:
+                # Replica died mid-exchange (crash or restart): count the
+                # failover and move to the next ring node.  Safe to
+                # re-dispatch — see the module docstring.
+                tried.add(target.replica_id)
+                self.failovers_total += 1
+                last_error = error
+                continue
+            self.routed_total[target.replica_id] = (
+                self.routed_total.get(target.replica_id, 0) + 1
+            )
+            self.responses_total[status] = self.responses_total.get(status, 0) + 1
+            return raw
+        if last_error is None:
+            self.unrouted_total += 1
+            return self._render(
+                HTTPStatus.SERVICE_UNAVAILABLE,
+                {"error": "no ready replica in the fleet; retry shortly"},
+                {"Retry-After": "1"},
+            )
+        self.proxy_errors_total += 1
+        return self._render(
+            HTTPStatus.BAD_GATEWAY,
+            {"error": f"all routed replicas failed: {type(last_error).__name__}: {last_error}"},
+        )
+
+    async def _pick_replica(
+        self, key: str, tried: Set[str], grace_deadline: float
+    ) -> Optional[ReplicaInfo]:
+        """The highest-ranked ready replica not yet tried, waiting out a
+        whole-pool restart up to the grace deadline."""
+        assert self._loop is not None
+        while True:
+            ready = {
+                replica.replica_id: replica
+                for replica in self.supervisor.ready_replicas()
+                if replica.replica_id not in tried
+            }
+            if ready:
+                ranked = rendezvous_rank(key, list(ready))
+                return ready[ranked[0]]
+            if self._loop.time() >= grace_deadline or self._draining:
+                return None
+            await asyncio.sleep(0.05)
+
+    async def _exchange(self, replica: ReplicaInfo, request: Request) -> Tuple[int, bytes]:
+        """One full request/response exchange with a replica.
+
+        The request body travels through unmodified; the response is
+        captured raw (status line, headers, body) and forwarded to the
+        client byte-for-byte.
+        """
+        reader, writer = await asyncio.open_connection(
+            self.host, replica.port, limit=HEADER_LIMIT
+        )
+        try:
+            lines = [
+                f"{request.method} {request.path} HTTP/1.1",
+                f"host: {self.host}:{replica.port}",
+                f"content-length: {len(request.body)}",
+                "connection: close",
+            ]
+            for name, value in request.headers.items():
+                if name not in _HOP_HEADERS:
+                    lines.append(f"{name}: {value}")
+            writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+            writer.write(request.body)
+            await writer.drain()
+            status_line = await reader.readline()
+            if not status_line.startswith(b"HTTP/"):
+                raise ConnectionError(f"malformed replica status line {status_line[:40]!r}")
+            status = int(status_line.split()[1])
+            raw = bytearray(status_line)
+            content_length: Optional[int] = None
+            while True:
+                line = await reader.readline()
+                if not line:
+                    raise asyncio.IncompleteReadError(bytes(raw), None)
+                raw += line
+                if line in (b"\r\n", b"\n"):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            if content_length is None:
+                raw += await reader.read()
+            else:
+                raw += await reader.readexactly(content_length)
+            return status, bytes(raw)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+
+def build_fleet(
+    workers: int,
+    replica_argv: Sequence[str] = (),
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    stagger_seconds: float = 0.25,
+    backoff_base_seconds: float = 0.5,
+    backoff_cap_seconds: float = 10.0,
+    startup_timeout: float = 60.0,
+    drain_timeout: float = 30.0,
+    proxy_timeout: float = 300.0,
+    no_replica_grace: float = 5.0,
+    ready_timeout: float = 180.0,
+) -> FleetRouter:
+    """A :class:`FleetRouter` wired to a fresh :class:`ReplicaSupervisor`.
+
+    This is the one-stop constructor the CLI, the benchmark, and the
+    tests use: ``build_fleet(4, ["--clusters", "3"]).run()`` is a whole
+    fleet behind one port.
+    """
+    supervisor = ReplicaSupervisor(
+        workers,
+        replica_argv,
+        host,
+        stagger_seconds=stagger_seconds,
+        backoff_base_seconds=backoff_base_seconds,
+        backoff_cap_seconds=backoff_cap_seconds,
+        startup_timeout=startup_timeout,
+        drain_timeout=drain_timeout,
+    )
+    return FleetRouter(
+        supervisor,
+        host,
+        port,
+        proxy_timeout=proxy_timeout,
+        no_replica_grace=no_replica_grace,
+        ready_timeout=ready_timeout,
+    )

@@ -1,0 +1,207 @@
+"""Shared asyncio HTTP/1.1 plumbing for the serving tier.
+
+One hardened implementation of the boring parts, used by both the
+single-process :class:`~repro.serve.server.ClusteringServer` and the
+fleet :class:`~repro.serve.fleet.router.FleetRouter`:
+
+* :func:`read_request` — parse one request (line, headers, body) off a
+  stream with the same smuggling-hardening rules everywhere (duplicate
+  ``Content-Length`` rejected, colon-less and empty-name header lines
+  rejected, bounded header count and body size);
+* :func:`render_response` — serialize a JSON (or pre-encoded binary)
+  response with ``Content-Length`` framing;
+* :func:`http_fetch` — a tiny asyncio HTTP client for loopback control
+  traffic (the supervisor's health probes, the router's ``/metrics``
+  scrapes) that speaks one request per connection.
+
+Keeping the parser in one module means a request is judged by identical
+rules whether it hits a replica directly or arrives through the router.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from http import HTTPStatus
+from typing import Any, Dict, Optional, Tuple
+
+#: Hard cap on request bodies (a 2000x2000 float matrix in JSON is ~90 MB;
+#: this bound exists to fail fast on garbage, not to size real inputs).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: StreamReader limit: bounds a single request/header line.
+HEADER_LIMIT = 64 * 1024
+
+
+class BadRequest(ValueError):
+    """Client-side error; rendered as HTTP 400 with the message."""
+
+
+@dataclass
+class BinaryBody:
+    """A pre-encoded non-JSON response body plus its media type."""
+
+    data: bytes
+    content_type: str
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    @property
+    def media_type(self) -> str:
+        """The ``Content-Type`` media type, lowercased, parameters stripped."""
+        return self.headers.get("content-type", "").split(";", 1)[0].strip().lower()
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`BadRequest` on anything malformed — oversized lines,
+    bad Content-Length, smuggling-shaped headers, truncated bodies.
+    """
+    try:
+        request_line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as error:
+        raise BadRequest(f"oversized request line: {error}") from error
+    if not request_line:
+        return None  # clean EOF between requests
+    try:
+        method, path, _version = request_line.decode("latin-1").split()
+    except ValueError as error:
+        raise BadRequest("malformed HTTP request line") from error
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as error:
+            raise BadRequest(f"oversized header line: {error}") from error
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) > 100:
+            raise BadRequest("too many headers")
+        text = line.decode("latin-1").rstrip("\r\n")
+        name, colon, value = text.partition(":")
+        # A colon-less line must not silently become an empty-value
+        # header (last-wins would then let it mask a real one).
+        if not colon:
+            raise BadRequest(f"malformed header line (no colon): {text[:80]!r}")
+        name = name.strip().lower()
+        if not name:
+            raise BadRequest("malformed header line (empty header name)")
+        # Conflicting Content-Length values are a classic smuggling
+        # vector; last-wins parsing would read the wrong body length.
+        if name == "content-length" and name in headers:
+            raise BadRequest("duplicate Content-Length header")
+        headers[name] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        content_length = int(length_text)
+    except ValueError as error:
+        raise BadRequest(f"bad Content-Length {length_text!r}") from error
+    if content_length < 0 or content_length > MAX_BODY_BYTES:
+        raise BadRequest(f"Content-Length {content_length} outside [0, {MAX_BODY_BYTES}]")
+    body = b""
+    if content_length:
+        try:
+            body = await reader.readexactly(content_length)
+        except asyncio.IncompleteReadError as error:
+            raise BadRequest("request body shorter than Content-Length") from error
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: HTTPStatus,
+    payload: Any,
+    extra_headers: Optional[Dict[str, str]] = None,
+    *,
+    server_token: str,
+    head_only: bool = False,
+) -> bytes:
+    """Serialize one response; ``payload`` is JSON-safe or a :class:`BinaryBody`."""
+    if isinstance(payload, BinaryBody):
+        body = payload.data
+        content_type = payload.content_type
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
+    lines = [
+        f"HTTP/1.1 {int(status)} {status.phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Server: {server_token}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head if head_only else head + body
+
+
+async def http_fetch(
+    host: str,
+    port: int,
+    path: str,
+    *,
+    method: str = "GET",
+    timeout: float = 5.0,
+) -> Tuple[int, Dict[str, Any]]:
+    """One loopback HTTP exchange, JSON-decoded: ``(status, payload)``.
+
+    Control-plane only (health probes, metrics scrapes): a fresh
+    connection per call, ``Connection: close``, the whole exchange under
+    ``timeout``.  Raises ``OSError``/``asyncio.TimeoutError`` on a dead
+    peer — callers treat that as "replica not ready".
+    """
+
+    async def _exchange() -> Tuple[int, Dict[str, Any]]:
+        reader, writer = await asyncio.open_connection(host, port, limit=HEADER_LIMIT)
+        try:
+            writer.write(
+                (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split()
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(f"malformed status line {status_line!r}")
+            status = int(parts[1])
+            content_length: Optional[int] = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            if content_length is not None:
+                raw = await reader.readexactly(content_length)
+            else:
+                raw = await reader.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"raw": raw.decode("utf-8", "replace")}
+            return status, payload
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    return await asyncio.wait_for(_exchange(), timeout)

@@ -22,6 +22,7 @@ nothing ever blocks on I/O.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Any, Dict, Optional, Sequence
@@ -141,9 +142,12 @@ class ServerMetrics:
     def healthz(
         self, *, queue_depth: int, draining: bool, version: str
     ) -> Dict[str, Any]:
+        # pid/version/uptime make fleet replicas distinguishable: a
+        # rolling-restart check watches pid change and uptime reset.
         return {
             "status": "draining" if draining else "ok",
             "version": version,
+            "pid": os.getpid(),
             "uptime_seconds": round(self.uptime_seconds, 3),
             "queue_depth": queue_depth,
         }
@@ -155,12 +159,15 @@ class ServerMetrics:
         batcher_stats: Dict[str, Any],
         cache_stats: Optional[Dict[str, Any]],
         draining: bool,
+        version: Optional[str] = None,
     ) -> Dict[str, Any]:
         """The full ``/metrics`` JSON document."""
         with self._lock:
             requests = dict(self.requests_total)
             responses = {str(k): v for k, v in sorted(self.responses_total.items())}
             payload: Dict[str, Any] = {
+                "pid": os.getpid(),
+                "version": version,
                 "uptime_seconds": round(self.uptime_seconds, 3),
                 "draining": draining,
                 "queue_depth": queue_depth,

@@ -61,13 +61,17 @@ from repro.serve.batcher import (
     ServiceStopping,
     validate_batching_knobs,
 )
+from repro.serve.httpio import (
+    HEADER_LIMIT as _HEADER_LIMIT,
+    MAX_BODY_BYTES,
+    BadRequest as _BadRequest,
+    BinaryBody,
+    Request as _Request,
+    read_request,
+    render_response,
+)
 from repro.serve.metrics import ServerMetrics
 from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError, decode_request, encode_envelope
-
-#: Hard cap on request bodies (a 2000x2000 float matrix in JSON is ~90 MB;
-#: this bound exists to fail fast on garbage, not to size real inputs).
-MAX_BODY_BYTES = 256 * 1024 * 1024
-_HEADER_LIMIT = 64 * 1024
 
 #: Config fields a request payload may overlay.  These are the algorithmic
 #: knobs; the server-owned resource knobs — ``backend``/``workers`` (per-fit
@@ -103,40 +107,12 @@ def retry_after_hint(max_wait_ms: float) -> float:
     return round(max(0.05, max_wait_ms / 1000.0), 3)
 
 
-class _BadRequest(ValueError):
-    """Client-side error; rendered as HTTP 400 with the message."""
-
-
 class _UnsupportedMediaType(ValueError):
     """Binary body on a server with the transport disabled; HTTP 415."""
 
 
-@dataclass
-class _BinaryBody:
-    """A pre-encoded ``application/x-repro-matrix`` response body."""
-
-    data: bytes
-
-
-@dataclass
-class _Request:
-    method: str
-    path: str
-    headers: Dict[str, str]
-    body: bytes
-
-    @property
-    def keep_alive(self) -> bool:
-        return self.headers.get("connection", "keep-alive").lower() != "close"
-
-    @property
-    def media_type(self) -> str:
-        """The ``Content-Type`` media type, lowercased, parameters stripped."""
-        return self.headers.get("content-type", "").split(";", 1)[0].strip().lower()
-
-    @property
-    def accepts_binary(self) -> bool:
-        return WIRE_CONTENT_TYPE in self.headers.get("accept", "").lower()
+def _accepts_binary(request: _Request) -> bool:
+    return WIRE_CONTENT_TYPE in request.headers.get("accept", "").lower()
 
 
 class ClusteringServer:
@@ -308,7 +284,7 @@ class ClusteringServer:
         try:
             while True:
                 try:
-                    request = await self._read_request(reader)
+                    request = await read_request(reader)
                 except _BadRequest as error:
                     writer.write(self._response(HTTPStatus.BAD_REQUEST, {"error": str(error)}))
                     await writer.drain()
@@ -336,56 +312,6 @@ class ClusteringServer:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_Request]:
-        try:
-            request_line = await reader.readline()
-        except (asyncio.LimitOverrunError, ValueError) as error:
-            raise _BadRequest(f"oversized request line: {error}") from error
-        if not request_line:
-            return None  # clean EOF between requests
-        try:
-            method, path, _version = request_line.decode("latin-1").split()
-        except ValueError as error:
-            raise _BadRequest("malformed HTTP request line") from error
-        headers: Dict[str, str] = {}
-        while True:
-            try:
-                line = await reader.readline()
-            except (asyncio.LimitOverrunError, ValueError) as error:
-                raise _BadRequest(f"oversized header line: {error}") from error
-            if line in (b"\r\n", b"\n", b""):
-                break
-            if len(headers) > 100:
-                raise _BadRequest("too many headers")
-            text = line.decode("latin-1").rstrip("\r\n")
-            name, colon, value = text.partition(":")
-            # A colon-less line must not silently become an empty-value
-            # header (last-wins would then let it mask a real one).
-            if not colon:
-                raise _BadRequest(f"malformed header line (no colon): {text[:80]!r}")
-            name = name.strip().lower()
-            if not name:
-                raise _BadRequest("malformed header line (empty header name)")
-            # Conflicting Content-Length values are a classic smuggling
-            # vector; last-wins parsing would read the wrong body length.
-            if name == "content-length" and name in headers:
-                raise _BadRequest("duplicate Content-Length header")
-            headers[name] = value.strip()
-        length_text = headers.get("content-length", "0")
-        try:
-            content_length = int(length_text)
-        except ValueError as error:
-            raise _BadRequest(f"bad Content-Length {length_text!r}") from error
-        if content_length < 0 or content_length > MAX_BODY_BYTES:
-            raise _BadRequest(f"Content-Length {content_length} outside [0, {MAX_BODY_BYTES}]")
-        body = b""
-        if content_length:
-            try:
-                body = await reader.readexactly(content_length)
-            except asyncio.IncompleteReadError as error:
-                raise _BadRequest("request body shorter than Content-Length") from error
-        return _Request(method=method.upper(), path=path, headers=headers, body=body)
-
     def _response(
         self,
         status: HTTPStatus,
@@ -394,22 +320,13 @@ class ClusteringServer:
         *,
         head_only: bool = False,
     ) -> bytes:
-        if isinstance(payload, _BinaryBody):
-            body = payload.data
-            content_type = WIRE_CONTENT_TYPE
-        else:
-            body = json.dumps(payload).encode("utf-8")
-            content_type = "application/json"
-        lines = [
-            f"HTTP/1.1 {int(status)} {status.phrase}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            f"Server: repro-serve/{__version__}",
-        ]
-        for name, value in (extra_headers or {}).items():
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        return head if head_only else head + body
+        return render_response(
+            status,
+            payload,
+            extra_headers,
+            server_token=f"repro-serve/{__version__}",
+            head_only=head_only,
+        )
 
     # -- routing -----------------------------------------------------------
 
@@ -459,6 +376,7 @@ class ClusteringServer:
             batcher_stats=self._batcher.stats.as_dict(),
             cache_stats=cache_stats,
             draining=self._draining or self._batcher.stopping,
+            version=__version__,
         )
 
     async def _handle_cluster(
@@ -515,11 +433,11 @@ class ClusteringServer:
                 "fit_seconds": round(info["fit_seconds"], 6),
             },
         }
-        if self.binary and request.accepts_binary:
+        if self.binary and _accepts_binary(request):
             # Same envelope, lifted into a wire frame: the labels travel as
             # a raw int64 buffer, everything else in the frame header, and
             # decoding reproduces the JSON envelope byte for byte.
-            return HTTPStatus.OK, _BinaryBody(encode_envelope(envelope)), None
+            return HTTPStatus.OK, BinaryBody(encode_envelope(envelope), WIRE_CONTENT_TYPE), None
         return HTTPStatus.OK, envelope, None
 
     def _parse_cluster_request(self, request: _Request) -> Tuple[np.ndarray, ClusteringConfig]:

@@ -537,3 +537,65 @@ class TestBatchFrontDoorEdges:
             fit_one(config, np.arange(8.0))
         with pytest.raises(ValueError, match="2-D"):
             fit_one(config, np.zeros((2, 3, 4)))
+
+
+def _shared_cache_writer(cache_dir: str, worker_index: int, rounds: int, queue) -> None:
+    """One fleet-replica stand-in hammering the shared disk cache tier.
+
+    Every worker writes the SAME deterministic value per key (as fleet
+    replicas computing the same fingerprinted job would), so whichever
+    write-then-rename wins the race, readers must see a complete, correct
+    entry — never a torn or partial one.
+    """
+    try:
+        from repro.cache.store import ResultCache
+
+        writer = ResultCache(max_entries=4, cache_dir=cache_dir)
+        for i in range(rounds):
+            key = f"fingerprint-{i % 3}"
+            value = {"key": key, "labels": list(range(50)), "round": i % 3}
+            writer._write_disk(key, value)
+            # A fresh instance per read bypasses this process's in-memory
+            # tier: the read must come from disk, mid-race.
+            reader = ResultCache(max_entries=4, cache_dir=cache_dir)
+            seen = reader.get(key)
+            if seen is not None and seen != value:
+                queue.put(("corrupt", worker_index, key, seen))
+                return
+        queue.put(("ok", worker_index))
+    except Exception as error:  # pragma: no cover - surfaced in the parent
+        queue.put(("error", worker_index, repr(error)))
+
+
+class TestCrossProcessDiskCache:
+    def test_racing_writers_to_one_fingerprint_never_tear(self, tmp_path):
+        """N processes racing write-then-rename on the same keys in one
+        --cache-dir (the `repro serve --workers N --cache-dir` layout):
+        every read sees a whole entry and no temp droppings survive."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        cache_dir = str(tmp_path / "shared-cache")
+        queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_shared_cache_writer, args=(cache_dir, index, 20, queue)
+            )
+            for index in range(4)
+        ]
+        for process in workers:
+            process.start()
+        outcomes = [queue.get(timeout=120) for _ in workers]
+        for process in workers:
+            process.join(timeout=60)
+        assert all(outcome[0] == "ok" for outcome in outcomes), outcomes
+        # After the dust settles: each key readable, correct, and whole.
+        survivor = ResultCache(max_entries=4, cache_dir=cache_dir)
+        for i in range(3):
+            key = f"fingerprint-{i}"
+            assert survivor.get(key) == {
+                "key": key, "labels": list(range(50)), "round": i,
+            }
+        # Atomic rename cleaned up after itself: no .tmp files left.
+        leftovers = [name for name in os.listdir(cache_dir) if name.endswith(".tmp")]
+        assert leftovers == []

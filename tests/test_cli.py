@@ -470,13 +470,24 @@ class TestServeCommand:
         assert args.max_wait_ms == 10.0
         assert args.max_queue == 256
         assert args.fit_workers == 2
+        assert args.replicas == 1
         assert args.func.__name__ == "_command_serve"
+
+    def test_serve_workers_is_the_replica_count(self):
+        # serve's --workers spells the replica count, not the config's
+        # backend worker count: it must never leak into ClusteringConfig
+        # via the shared `workers` attribute _config_from_args reads.
+        args = build_parser().parse_args(["serve", "--workers", "3"])
+        assert args.replicas == 3
+        assert getattr(args, "workers", None) is None
 
     def test_serve_rejects_bad_flag_combinations(self, capsys):
         # The shared config plumbing validates serve flags like any other
-        # subcommand: --workers without a parallel backend is refused.
-        assert main(["serve", "--workers", "3"]) == 2
+        # subcommand; a nonsensical replica count is refused up front.
+        assert main(["serve", "--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
+        assert main(["serve", "--backend", "thread", "--landmarks", "0"]) == 2
+        assert "--landmarks" in capsys.readouterr().err
 
     def test_serve_end_to_end_over_http(self, tmp_path):
         """`repro serve` as a subprocess: healthz, POST, drain on SIGTERM."""

@@ -897,3 +897,65 @@ class TestHeaderParsingHardening:
         assert slow_info["fit_seconds"] >= 0.1
         # The second group's fit time does not inherit the first group's.
         assert fast_info["fit_seconds"] < 0.1
+
+
+class TestJitteredBackoff:
+    def test_jitter_stays_within_twenty_percent(self):
+        import random
+
+        from repro.serve.client import RETRY_JITTER_FRACTION, jittered_backoff
+
+        rng = random.Random(42)
+        draws = [jittered_backoff(2.0, rng) for _ in range(500)]
+        low, high = 2.0 * (1 - RETRY_JITTER_FRACTION), 2.0 * (1 + RETRY_JITTER_FRACTION)
+        assert all(low <= draw <= high for draw in draws)
+        # It actually jitters: a lockstep client herd must decorrelate.
+        assert len({round(draw, 6) for draw in draws}) > 100
+        assert min(draws) < 2.0 < max(draws)
+
+    def test_zero_and_negative_backoffs_stay_zero(self):
+        from repro.serve.client import jittered_backoff
+
+        assert jittered_backoff(0.0) == 0.0
+        assert jittered_backoff(-5.0) == 0.0
+
+
+class TestIdentityFields:
+    """pid/version/uptime in healthz + metrics: what makes one replica
+    distinguishable from another inside a fleet."""
+
+    def test_healthz_carries_process_identity(self):
+        import os
+
+        from repro.serve.metrics import ServerMetrics
+
+        payload = ServerMetrics().healthz(queue_depth=0, draining=False, version="9.9")
+        assert payload["pid"] == os.getpid()
+        assert payload["version"] == "9.9"
+        assert payload["uptime_seconds"] >= 0.0
+
+    def test_metrics_carries_process_identity(self):
+        import os
+
+        from repro.serve.metrics import ServerMetrics
+
+        payload = ServerMetrics().render(
+            queue_depth=0, batcher_stats={}, cache_stats=None, draining=False,
+            version="9.9",
+        )
+        assert payload["pid"] == os.getpid()
+        assert payload["version"] == "9.9"
+        assert payload["uptime_seconds"] >= 0.0
+
+    def test_served_healthz_and_metrics_expose_identity(self):
+        _server, handle = _start_server()
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                health = client.healthz()
+                metrics = client.metrics()
+            assert health["pid"] == metrics["pid"]
+            assert health["version"] == metrics["version"]
+            assert health["uptime_seconds"] >= 0.0
+            assert metrics["uptime_seconds"] >= health["uptime_seconds"] >= 0.0
+        finally:
+            handle.stop()

@@ -1,0 +1,417 @@
+"""Tests for repro.serve.fleet: ring, supervisor, and router.
+
+Three layers:
+
+* pure ring/affinity-key unit tests (no processes);
+* proxy-mechanics tests against a canned-response fake replica, which is
+  the one place true *byte* identity is assertable (real fits carry
+  per-request timings, so two responses never match byte-for-byte even
+  from a single process);
+* full-fleet integration: real ``repro serve`` replica subprocesses
+  behind the router — affinity, cache locality, crash failover, restart
+  supervision, drain.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeClient, build_fleet
+from repro.serve.fleet.ring import rendezvous_rank, request_affinity_key, spread
+from repro.serve.fleet.router import FleetRouter
+from repro.serve.fleet.supervisor import ReplicaInfo, ReplicaSupervisor
+from repro.serve.server import ClusteringServer
+from repro.serve.wire import WIRE_CONTENT_TYPE, encode_request
+
+MEMBERS = [f"replica-{i}" for i in range(4)]
+
+
+def _matrix(seed: int = 0, n: int = 24):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, 8))
+
+
+KMEANS = {"num_clusters": 2, "method": "kmeans", "seed": 0}
+
+
+class TestRendezvousRing:
+    def test_rank_is_deterministic_and_total(self):
+        ranked = rendezvous_rank("key-1", MEMBERS)
+        assert ranked == rendezvous_rank("key-1", list(reversed(MEMBERS)))
+        assert sorted(ranked) == sorted(MEMBERS)
+
+    def test_removing_home_promotes_second_choice(self):
+        # The heart of consistent failover: dropping a key's home replica
+        # must hand the key to its *old second choice*, and keys homed
+        # elsewhere must not move at all.
+        for key in (f"key-{i}" for i in range(50)):
+            full = rendezvous_rank(key, MEMBERS)
+            survivors = [m for m in MEMBERS if m != full[0]]
+            assert rendezvous_rank(key, survivors) == full[1:]
+
+    def test_unrelated_keys_stay_put_when_member_leaves(self):
+        keys = [f"key-{i}" for i in range(200)]
+        gone = MEMBERS[0]
+        survivors = MEMBERS[1:]
+        for key in keys:
+            before = rendezvous_rank(key, MEMBERS)[0]
+            after = rendezvous_rank(key, survivors)[0]
+            if before != gone:
+                assert after == before
+
+    def test_spread_is_roughly_balanced(self):
+        keys = [f"key-{i}" for i in range(400)]
+        counts = spread(keys, MEMBERS)
+        assert sum(counts.values()) == len(keys)
+        # 400 keys over 4 members: each should land well away from 0.
+        assert min(counts.values()) > 40
+
+    def test_restarted_member_gets_its_keys_back(self):
+        keys = [f"key-{i}" for i in range(100)]
+        before = {key: rendezvous_rank(key, MEMBERS)[0] for key in keys}
+        after = {key: rendezvous_rank(key, list(MEMBERS))[0] for key in keys}
+        assert before == after
+
+
+class TestAffinityKey:
+    def test_json_bodies_key_on_raw_bytes(self):
+        body = b'{"matrix": [[0, 1], [1, 0]], "config": {}}'
+        assert request_affinity_key(body, "application/json").startswith("raw:")
+        assert request_affinity_key(body, "application/json") == request_affinity_key(
+            body, "application/json"
+        )
+        assert request_affinity_key(body) != request_affinity_key(body + b" ")
+
+    def test_binary_bodies_key_on_content(self):
+        matrix = np.asarray(_matrix(3), dtype=float, order="C")
+        frame_a = encode_request(matrix, {"num_clusters": 3})
+        frame_b = encode_request(np.asarray(matrix, order="F"), {"num_clusters": 3})
+        key_a = request_affinity_key(frame_a, WIRE_CONTENT_TYPE)
+        key_b = request_affinity_key(frame_b, WIRE_CONTENT_TYPE)
+        assert key_a.startswith("content:")
+        # Same matrix content + config -> same key even if the frames were
+        # encoded from differently-laid-out arrays.
+        assert key_a == key_b
+        different = encode_request(matrix, {"num_clusters": 4})
+        assert request_affinity_key(different, WIRE_CONTENT_TYPE) != key_a
+
+    def test_malformed_binary_falls_back_to_raw(self):
+        assert request_affinity_key(b"not a frame", WIRE_CONTENT_TYPE).startswith("raw:")
+
+
+class _FakeSupervisor:
+    """The supervisor surface the router needs, with no real processes."""
+
+    def __init__(self, replicas):
+        self.workers = len(replicas)
+        self._replicas = list(replicas)
+
+    async def start(self):
+        pass
+
+    async def wait_ready(self, count=None, timeout=120.0):
+        pass
+
+    async def stop(self):
+        pass
+
+    def ready_replicas(self):
+        return list(self._replicas)
+
+    @property
+    def restarts_total(self):
+        return 0
+
+    def status(self):
+        return [
+            {"id": r.replica_id, "state": "ready", "port": r.port, "pid": r.pid,
+             "spawns": 1, "restarts": 0, "last_exit_code": None}
+            for r in self._replicas
+        ]
+
+
+class _CannedReplica:
+    """A TCP server that answers every request with fixed raw HTTP bytes."""
+
+    def __init__(self, raw_response: bytes):
+        self.raw_response = raw_response
+        self.requests = []
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self.port = self._server.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            with conn:
+                chunks = b""
+                conn.settimeout(5.0)
+                while b"\r\n\r\n" not in chunks:
+                    chunks += conn.recv(65536)
+                head, _, rest = chunks.partition(b"\r\n\r\n")
+                length = 0
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":", 1)[1])
+                while len(rest) < length:
+                    rest += conn.recv(65536)
+                self.requests.append((head, rest))
+                conn.sendall(self.raw_response)
+
+    def close(self):
+        self._server.close()
+
+
+def _raw_post(port: int, body: bytes, headers: dict) -> bytes:
+    """One raw POST /cluster; returns the raw response bytes."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30.0) as conn:
+        head = f"POST /cluster HTTP/1.1\r\nhost: x\r\ncontent-length: {len(body)}\r\n"
+        for name, value in headers.items():
+            head += f"{name}: {value}\r\n"
+        conn.sendall(head.encode() + b"\r\n" + body)
+        conn.shutdown(socket.SHUT_WR)
+        raw = b""
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return raw
+            raw += chunk
+
+
+class TestRouterProxyMechanics:
+    CANNED = (
+        b"HTTP/1.1 200 OK\r\n"
+        b"content-type: application/json\r\n"
+        b"server: repro-serve/0.0-canned\r\n"
+        b"x-weird-header: kept \r\n"
+        b"content-length: 17\r\n"
+        b"connection: close\r\n"
+        b"\r\n"
+        b'{"canned": true}\n'
+    )
+
+    def test_routed_response_is_the_replica_bytes_verbatim(self):
+        replica = _CannedReplica(self.CANNED)
+        router = FleetRouter(
+            _FakeSupervisor([ReplicaInfo("replica-0", replica.port, None)]), port=0
+        )
+        handle = router.start_in_background()
+        try:
+            raw = _raw_post(handle.port, b'{"matrix": [[0]]}',
+                            {"content-type": "application/json"})
+            # Byte-for-byte: status line, header order, casing, trailing
+            # spaces, body — nothing re-rendered by the router.
+            assert raw == self.CANNED
+            head, body = replica.requests[0]
+            assert body == b'{"matrix": [[0]]}'
+            assert b"content-type: application/json" in head
+        finally:
+            handle.stop()
+            replica.close()
+
+    def test_failover_retries_next_ring_node_once(self):
+        replica = _CannedReplica(self.CANNED)
+        # A port that refuses connections: bind-and-close.
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        body = b'{"matrix": [[0]]}'
+        key = request_affinity_key(body, "application/json")
+        live = ReplicaInfo("live", replica.port, None)
+        dead = ReplicaInfo("dead", dead_port, None)
+        # Name the dead replica so the ring ranks it first for this body.
+        first = rendezvous_rank(key, ["live", "dead"])[0]
+        if first == "live":
+            live, dead = (ReplicaInfo("dead", replica.port, None),
+                          ReplicaInfo("live", dead_port, None))
+        router = FleetRouter(_FakeSupervisor([live, dead]), port=0)
+        handle = router.start_in_background()
+        try:
+            raw = _raw_post(handle.port, body, {"content-type": "application/json"})
+            assert raw == self.CANNED
+            assert router.failovers_total == 1
+        finally:
+            handle.stop()
+            replica.close()
+
+    def test_no_ready_replica_answers_503_after_grace(self):
+        router = FleetRouter(_FakeSupervisor([]), port=0, no_replica_grace=0.2)
+        handle = router.start_in_background()
+        try:
+            raw = _raw_post(handle.port, b"{}", {"content-type": "application/json"})
+            assert raw.startswith(b"HTTP/1.1 503")
+            assert b"Retry-After" in raw or b"retry-after" in raw
+            assert router.unrouted_total == 1
+        finally:
+            handle.stop()
+
+    def test_unknown_route_is_answered_by_the_router(self):
+        router = FleetRouter(_FakeSupervisor([]), port=0)
+        handle = router.start_in_background()
+        try:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                from repro.serve import ServerError
+
+                with pytest.raises(ServerError) as excinfo:
+                    client.request("GET", "/nope")
+                assert excinfo.value.status == 404
+        finally:
+            handle.stop()
+
+
+def _normalized(envelope: dict) -> dict:
+    """A served envelope with its per-request timing fields removed.
+
+    Everything else — labels, config echo, extras, batch shape — must be
+    identical between a routed and a direct response.
+    """
+    doc = json.loads(json.dumps(envelope))
+    doc.get("result", {}).pop("step_seconds", None)
+    serving = doc.get("serving", {})
+    serving.pop("queue_seconds", None)
+    serving.pop("fit_seconds", None)
+    return doc
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One 2-replica fleet shared by the integration tests."""
+    router = build_fleet(
+        2,
+        ["--clusters", "2", "--method", "kmeans", "--max-wait-ms", "2"],
+        port=0,
+        stagger_seconds=0.05,
+        backoff_base_seconds=0.2,
+    )
+    handle = router.start_in_background()
+    yield router
+    handle.stop()
+
+
+class TestFleetIntegration:
+    def test_healthz_reports_fleet_shape(self, fleet):
+        with ServeClient("127.0.0.1", fleet.port) as client:
+            payload = client.wait_healthy(30)
+        assert payload["status"] == "ok"
+        assert payload["role"] == "fleet-router"
+        assert payload["workers"] == 2
+        assert payload["ready_replicas"] == 2
+        assert isinstance(payload["pid"], int)
+        assert payload["version"]
+        assert payload["uptime_seconds"] >= 0
+        states = {entry["state"] for entry in payload["replicas"]}
+        assert states == {"ready"}
+
+    def test_routed_fit_matches_direct_fit(self, fleet):
+        matrix = _matrix(7)
+        with ClusteringServer(port=0, max_wait_ms=2.0).start_in_background() as direct:
+            with ServeClient("127.0.0.1", direct.port) as client:
+                direct_json = client.cluster(matrix, KMEANS)
+                direct_binary = client.cluster(matrix, KMEANS, binary=True)
+        with ServeClient("127.0.0.1", fleet.port) as client:
+            routed_json = client.cluster(matrix, KMEANS)
+            routed_binary = client.cluster(matrix, KMEANS, binary=True)
+        assert _normalized(routed_json) == _normalized(direct_json)
+        assert _normalized(routed_binary) == _normalized(direct_binary)
+
+    def test_identical_requests_share_a_replica_and_hit_cache(self, fleet):
+        matrix = _matrix(11)
+        with ServeClient("127.0.0.1", fleet.port) as client:
+            for _ in range(3):
+                client.cluster(matrix, KMEANS, binary=True)
+            metrics = client.metrics()
+        routed = {name: doc["routed_total"] for name, doc in metrics["replicas"].items()}
+        # All three identical bodies must have landed on one replica...
+        homes = [name for name, count in routed.items() if count >= 3]
+        assert homes, f"no single replica saw all 3 identical requests: {routed}"
+        # ...whose result cache served the repeats.
+        home = metrics["replicas"][homes[0]]["metrics"]
+        assert home["cache"]["hits"] >= 2
+
+    def test_distinct_requests_use_both_replicas(self, fleet):
+        with ServeClient("127.0.0.1", fleet.port) as client:
+            before = client.metrics()
+            for seed in range(8):
+                client.cluster(_matrix(100 + seed, n=12), KMEANS, binary=True)
+            after = client.metrics()
+        gained = {
+            name: after["replicas"][name]["routed_total"]
+            - before["replicas"][name]["routed_total"]
+            for name in after["replicas"]
+        }
+        assert sum(gained.values()) == 8
+        assert all(count > 0 for count in gained.values()), gained
+
+    def test_replica_kill_fails_over_and_restarts(self, fleet):
+        with ServeClient("127.0.0.1", fleet.port) as client:
+            client.wait_healthy(30)
+            restarts_before = fleet.supervisor.restarts_total
+            victim = fleet.supervisor.ready_replicas()[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            # Every request during the outage must still be answered: the
+            # ring fails the victim's keys over to the survivor, so no
+            # accepted request is lost.
+            for seed in range(6):
+                envelope = client.cluster(_matrix(200 + seed, n=12), KMEANS)
+                assert envelope["result"]["labels"] is not None
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                if (
+                    fleet.supervisor.restarts_total > restarts_before
+                    and len(fleet.supervisor.ready_replicas()) == 2
+                ):
+                    break
+                time.sleep(0.1)
+            assert fleet.supervisor.restarts_total > restarts_before
+            assert len(fleet.supervisor.ready_replicas()) == 2
+            metrics = client.metrics()
+            assert metrics["fleet"]["restarts_total"] >= 1
+
+
+class TestSupervisorUnit:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ReplicaSupervisor(0)
+
+    def test_replica_command_pins_host_and_ephemeral_port(self):
+        supervisor = ReplicaSupervisor(1, ["--clusters", "3"])
+        command = supervisor._replica_command()
+        assert command[1:5] == ["-m", "repro", "serve", "--host"]
+        assert "--port" in command and command[command.index("--port") + 1] == "0"
+        assert command[-2:] == ["--clusters", "3"]
+
+    def test_crash_looping_replica_backs_off(self):
+        async def scenario():
+            # A replica argv that makes `repro serve` exit 2 immediately
+            # (invalid flag): the babysitter must keep backing off, never
+            # report ready, and record its spawn attempts.
+            supervisor = ReplicaSupervisor(
+                1,
+                ["--definitely-not-a-flag"],
+                stagger_seconds=0.0,
+                backoff_base_seconds=0.05,
+                backoff_cap_seconds=0.1,
+                startup_timeout=10.0,
+            )
+            await supervisor.start()
+            with pytest.raises(TimeoutError):
+                await supervisor.wait_ready(timeout=2.0)
+            assert supervisor.ready_replicas() == []
+            assert supervisor.restarts_total >= 2
+            status = supervisor.status()[0]
+            assert status["state"] in ("starting", "restarting")
+            assert status["last_exit_code"] == 2
+            await supervisor.stop()
+
+        asyncio.run(scenario())
