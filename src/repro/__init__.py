@@ -23,45 +23,52 @@ Quickstart (the estimator API)::
 The functional entry point ``tmfg_dbht(similarity, dissimilarity, ...)``
 remains available (and byte-identical); see :mod:`repro.api` for the full
 estimator layer, including the batch front door ``cluster_many``.
+
+The top-level re-exports below resolve lazily (PEP 562): importing
+:mod:`repro` itself pulls in no numpy/scipy, so the stdlib-only tooling
+(``repro lint`` / :mod:`repro.analysis`) runs on a bare interpreter — the
+CI lint job installs no numerical dependencies at all.  The first access
+to any exported name imports its real module as before.
 """
 
-from repro.api import (
-    ClusteringConfig,
-    ClusterResult,
-    TMFGClusterer,
-    available_estimators,
-    cluster_many,
-    make_estimator,
-)
-from repro.cache import ResultCache, clear_result_caches, get_result_cache
-from repro.core.dbht import DBHTResult, dbht
-from repro.core.pipeline import PipelineResult, tmfg_dbht
-from repro.core.tmfg import TMFGResult, construct_tmfg
-from repro.dendrogram import Dendrogram, cut_height, cut_k
-from repro.metrics import adjusted_mutual_information, adjusted_rand_index
+from importlib import import_module
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
-__all__ = [
-    "ClusteringConfig",
-    "ClusterResult",
-    "TMFGClusterer",
-    "available_estimators",
-    "make_estimator",
-    "cluster_many",
-    "ResultCache",
-    "get_result_cache",
-    "clear_result_caches",
-    "DBHTResult",
-    "dbht",
-    "PipelineResult",
-    "tmfg_dbht",
-    "TMFGResult",
-    "construct_tmfg",
-    "Dendrogram",
-    "cut_height",
-    "cut_k",
-    "adjusted_mutual_information",
-    "adjusted_rand_index",
-    "__version__",
-]
+#: Exported name -> defining module; resolved on first attribute access.
+_EXPORTS = {
+    "ClusteringConfig": "repro.api",
+    "ClusterResult": "repro.api",
+    "TMFGClusterer": "repro.api",
+    "available_estimators": "repro.api",
+    "make_estimator": "repro.api",
+    "cluster_many": "repro.api",
+    "ResultCache": "repro.cache",
+    "get_result_cache": "repro.cache",
+    "clear_result_caches": "repro.cache",
+    "DBHTResult": "repro.core.dbht",
+    "dbht": "repro.core.dbht",
+    "PipelineResult": "repro.core.pipeline",
+    "tmfg_dbht": "repro.core.pipeline",
+    "TMFGResult": "repro.core.tmfg",
+    "construct_tmfg": "repro.core.tmfg",
+    "Dendrogram": "repro.dendrogram",
+    "cut_height": "repro.dendrogram",
+    "cut_k": "repro.dendrogram",
+    "adjusted_mutual_information": "repro.metrics",
+    "adjusted_rand_index": "repro.metrics",
+}
+
+__all__ = [*sorted(_EXPORTS), "__version__"]
+
+
+def __getattr__(name):
+    if name in _EXPORTS:
+        value = getattr(import_module(_EXPORTS[name]), name)
+        globals()[name] = value  # cache: subsequent access skips this hook
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

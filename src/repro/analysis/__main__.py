@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.analysis`` (same as ``repro lint``)."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

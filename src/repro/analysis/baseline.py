@@ -1,0 +1,51 @@
+"""Baseline files: land a rule before its last fixes do.
+
+A baseline is a JSON document of known-finding keys
+(:meth:`~repro.analysis.findings.Finding.key` — rule::path::message,
+deliberately line-number-free so surrounding edits do not resurrect an
+entry).  ``repro lint --baseline lint-baseline.json`` marks matching
+findings as baselined (reported in the summary, not failing the run);
+``--write-baseline`` snapshots the current reported findings.
+
+The repo itself carries **no** baseline — HEAD lints clean and a
+meta-test enforces that — but the mechanism is what makes adding rule
+six tractable on a tree with pre-existing findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import FrozenSet, Iterable, List
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> FrozenSet[str]:
+    """The finding keys a baseline file suppresses."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"bad baseline file {path}: {error}") from error
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("suppressed"), list)
+        or not all(isinstance(key, str) for key in payload["suppressed"])
+    ):
+        raise ValueError(
+            f"bad baseline file {path}: expected "
+            f'{{"version": {BASELINE_VERSION}, "suppressed": ["rule::path::message", ...]}}'
+        )
+    return frozenset(payload["suppressed"])
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Snapshot the reported findings' keys; returns how many were written."""
+    keys: List[str] = sorted({finding.key() for finding in findings if finding.reported})
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": BASELINE_VERSION, "suppressed": keys}, handle, indent=2)
+        handle.write("\n")
+    return len(keys)

@@ -1,0 +1,132 @@
+"""The ``repro lint`` command.
+
+Exposed two ways:
+
+* as a subcommand of the main CLI (``repro lint ...`` /
+  ``python -m repro lint ...``) — ``repro/__main__.py`` dispatches the
+  ``lint`` verb *before* importing the numerical CLI, so linting works on
+  interpreters without numpy/scipy (the CI lint job runs exactly that);
+* standalone, ``python -m repro.analysis ...`` — same flags, same exit
+  codes.
+
+Exit codes: ``0`` clean, ``1`` reported findings, ``2`` usage error
+(bad path, unknown rule id, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import run_lint
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import available_rules, rule_catalogue
+
+
+def default_lint_paths() -> List[str]:
+    """With no path arguments, lint the repro package this CLI came from."""
+    return [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``repro lint`` flags (shared by the subcommand and -m entry)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all; see --list-rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue (id, invariant, fix hint) and exit",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the JSON report (to PATH, or stdout with no value)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of known findings to tolerate (see --write-baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="snapshot the current reported findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list pragma-suppressed and baselined findings",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` from parsed arguments."""
+    if args.list_rules:
+        for row in rule_catalogue():
+            print(f"{row['id']}: {row['description']}")
+            print(f"    fix: {row['hint']}")
+        return 0
+    rule_ids: Optional[List[str]] = None
+    if args.rules is not None:
+        rule_ids = [token.strip() for token in args.rules.split(",") if token.strip()]
+        if not rule_ids:
+            print(
+                f"--rules selected nothing; available: {list(available_rules())}",
+                file=sys.stderr,
+            )
+            return 2
+    baseline = None
+    try:
+        if args.baseline is not None:
+            baseline = load_baseline(args.baseline)
+        result = run_lint(
+            args.paths or default_lint_paths(), rule_ids=rule_ids, baseline=baseline
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.write_baseline is not None:
+        count = write_baseline(args.write_baseline, result.findings)
+        print(f"wrote {count} finding key(s) to {args.write_baseline}")
+        return 0
+    if args.json is not None:
+        document = json.dumps(render_json(result), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(document)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            print(f"wrote JSON report to {args.json}")
+    if args.json != "-":
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

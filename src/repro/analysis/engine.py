@@ -1,0 +1,198 @@
+"""The analysis engine: walk a tree, parse, run rules, apply pragmas.
+
+:func:`run_lint` is the one entry point: given paths (files or
+directories), it parses every ``*.py`` file with :mod:`ast`, collects the
+``# repro: allow[...]`` pragma map per file, runs the selected rules
+(module-scoped per file, project-scoped once over the whole
+:class:`Project`), marks findings suppressed/baselined, and returns a
+:class:`LintResult`.
+
+Everything here is stdlib-only on purpose: the CI lint job runs on a
+bare interpreter (no numpy/scipy), which also guarantees the checker
+itself can never import the code it is judging.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import allowed_rules_by_line, is_allowed
+from repro.analysis.rules import resolve_rules
+
+#: Directory names never descended into.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str  # absolute
+    relpath: str  # as reported in findings (cwd-relative when possible)
+    source: str
+    tree: ast.Module
+    allows: Dict[int, FrozenSet[str]]
+
+
+@dataclass
+class Project:
+    """Every module one lint run parsed, for project-scoped rules."""
+
+    roots: Tuple[str, ...]
+    modules: List[ModuleInfo] = field(default_factory=list)
+
+    def module_for(self, relpath: str) -> Optional[ModuleInfo]:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+
+@dataclass
+class LintResult:
+    """The outcome of one :func:`run_lint` call."""
+
+    findings: List[Finding]
+    files_checked: int
+    rule_ids: Tuple[str, ...]
+
+    @property
+    def reported(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.reported]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.reported
+
+
+def _display_path(path: str) -> str:
+    """Report paths relative to the working directory when they are under
+    it (stable for CI logs and baselines), absolute otherwise."""
+    absolute = os.path.abspath(path)
+    cwd = os.getcwd()
+    try:
+        relative = os.path.relpath(absolute, cwd)
+    except ValueError:  # different drive on Windows
+        return absolute.replace(os.sep, "/")
+    if relative.startswith(".."):
+        return absolute.replace(os.sep, "/")
+    return relative.replace(os.sep, "/")
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Every ``*.py`` file under ``paths`` (files pass through), sorted."""
+    seen = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                collected.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIPPED_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    full = os.path.join(dirpath, filename)
+                    if full not in seen:
+                        seen.add(full)
+                        collected.append(full)
+    return collected
+
+
+def load_module(path: str) -> Tuple[Optional[ModuleInfo], Optional[Finding]]:
+    """Parse one file; on a syntax/decoding error return a finding instead."""
+    relpath = _display_path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as error:
+        return None, Finding(
+            path=relpath, line=1, col=0, rule="parse-error",
+            message=f"cannot read file: {error}",
+            hint="fix the file encoding or permissions",
+        )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return None, Finding(
+            path=relpath, line=error.lineno or 1, col=(error.offset or 1) - 1,
+            rule="parse-error", message=f"syntax error: {error.msg}",
+            hint="the file does not parse; every other rule was skipped for it",
+        )
+    return (
+        ModuleInfo(
+            path=os.path.abspath(path),
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            allows=allowed_rules_by_line(source),
+        ),
+        None,
+    )
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[FrozenSet[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` with the selected rules (default: the full pack)."""
+    rules = resolve_rules(rule_ids)
+    if not paths:
+        raise ValueError("no paths to lint")
+    for path in paths:
+        if not os.path.exists(path):
+            raise ValueError(f"no such file or directory: {path}")
+    project = Project(roots=tuple(os.path.abspath(path) for path in paths))
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        module, parse_finding = load_module(file_path)
+        if parse_finding is not None:
+            findings.append(parse_finding)
+            continue
+        assert module is not None
+        project.modules.append(module)
+    module_rules = [rule for rule in rules if rule.scope == "module"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
+    for module in project.modules:
+        for rule in module_rules:
+            findings.extend(rule.check_module(module))
+    for rule in project_rules:
+        findings.extend(rule.check_project(project))
+    findings = [_apply_pragmas(project, finding) for finding in findings]
+    if baseline:
+        findings = [
+            finding.from_dict({**finding.to_dict(), "baselined": True})
+            if finding.reported and finding.key() in baseline
+            else finding
+            for finding in findings
+        ]
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+    return LintResult(
+        findings=findings,
+        files_checked=len(project.modules),
+        rule_ids=tuple(rule.id for rule in rules),
+    )
+
+
+def _apply_pragmas(project: Project, finding: Finding) -> Finding:
+    module = project.module_for(finding.path)
+    if module is None:
+        return finding
+    if is_allowed(module.allows, finding.line, finding.rule):
+        return Finding.from_dict({**finding.to_dict(), "suppressed": True})
+    return finding

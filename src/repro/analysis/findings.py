@@ -1,0 +1,70 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding is one concrete, located violation: rule id, file:line(:col),
+a one-line message, and a fix hint.  Findings are plain frozen
+dataclasses that round-trip losslessly through :meth:`Finding.to_dict` /
+:meth:`Finding.from_dict`, which is what the ``--json`` reporter and the
+baseline file rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One located rule violation.
+
+    Attributes
+    ----------
+    path:
+        File the finding points at, as reported by the engine (relative
+        to the working directory when possible).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        The rule id (``available_rules()`` lists them).
+    message:
+        What is wrong, concretely, at this site.
+    hint:
+        How to fix it (or how to legitimately suppress it).
+    suppressed:
+        An inline ``# repro: allow[rule-id]`` pragma covers this line.
+    baselined:
+        The finding's :meth:`key` appears in the ``--baseline`` file.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def reported(self) -> bool:
+        """Whether this finding fails the lint run."""
+        return not (self.suppressed or self.baselined)
+
+    def key(self) -> str:
+        """Line-number-free identity used by baseline files.
+
+        Leaving the line out means unrelated edits above a baselined
+        finding do not resurrect it.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        unknown = sorted(set(payload) - {f.name for f in dataclasses.fields(cls)})
+        if unknown:
+            raise ValueError(f"unknown Finding keys {unknown}")
+        return cls(**payload)

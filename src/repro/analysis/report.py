@@ -1,0 +1,69 @@
+"""Text and JSON reporters for lint results.
+
+The text form is one finding per line (``path:line:col: [rule] message``
+plus an indented hint) with a one-line summary — the shape CI logs and
+editors parse.  The JSON form is a versioned document embedding every
+finding's :meth:`~repro.analysis.findings.Finding.to_dict`, the rule
+catalogue, and the counts; it round-trips losslessly back through
+:meth:`Finding.from_dict`, which the self-tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis.engine import LintResult
+from repro.analysis.pragmas import PRAGMA_SYNTAX
+from repro.analysis.rules import rule_catalogue
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
+    """The human-readable report, reported findings first."""
+    lines: List[str] = []
+    for finding in result.reported:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: [{finding.rule}] {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: [{finding.rule}] "
+                f"suppressed by pragma: {finding.message}"
+            )
+        for finding in result.baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: [{finding.rule}] "
+                f"baselined: {finding.message}"
+            )
+    summary = (
+        f"{len(result.reported)} finding(s) "
+        f"({len(result.suppressed)} suppressed by pragma, "
+        f"{len(result.baselined)} baselined) "
+        f"across {result.files_checked} file(s); "
+        f"rules: {', '.join(result.rule_ids)}"
+    )
+    if result.reported:
+        summary += f"\nsuppress deliberate violations inline with `{PRAGMA_SYNTAX}`"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> Dict[str, Any]:
+    """The JSON-safe report document (versioned, lossless findings)."""
+    return {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules": [row for row in rule_catalogue() if row["id"] in result.rule_ids],
+        "counts": {
+            "reported": len(result.reported),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "total": len(result.findings),
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+    }

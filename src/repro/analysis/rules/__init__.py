@@ -1,0 +1,152 @@
+"""The rule pack: base class, registry, and shared AST helpers.
+
+A rule is a small object with an ``id``, a ``description`` (what
+invariant it protects), a ``hint`` (how to fix a finding), and one of two
+scopes:
+
+* ``scope = "module"`` — :meth:`Rule.check_module` is called once per
+  parsed file and yields findings local to it;
+* ``scope = "project"`` — :meth:`Rule.check_project` sees every parsed
+  module at once, for cross-module invariants like config/fingerprint
+  coherence.
+
+Rules register themselves with :func:`register_rule` (usable as a class
+decorator); the engine runs :func:`default_rules` unless ``--rules``
+narrows the set.  Adding a rule is: subclass, decorate, ship fixture
+tests — see ``tests/test_analysis.py`` for the shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.analysis.findings import Finding
+
+
+class Rule:
+    """Base class for one invariant check."""
+
+    id: str = ""
+    description: str = ""
+    hint: str = ""
+    scope: str = "module"  # "module" | "project"
+
+    def check_module(self, module) -> Iterable[Finding]:
+        """Findings in one parsed module (module-scope rules)."""
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        """Findings across the whole parsed tree (project-scope rules)."""
+        return ()
+
+    def finding(self, module, node: ast.AST, message: str, *, hint: Optional[str] = None) -> Finding:
+        """A :class:`Finding` at ``node`` in ``module`` (pragma flags are
+        applied later by the engine)."""
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Register a rule class (instantiated once); class-decorator friendly."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def available_rules() -> Tuple[str, ...]:
+    """Registered rule ids, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def default_rules() -> List[Rule]:
+    """Every registered rule, in id order."""
+    return [_REGISTRY[rule_id] for rule_id in available_rules()]
+
+
+def resolve_rules(rule_ids: Optional[Iterable[str]]) -> List[Rule]:
+    """The rules selected by ``rule_ids`` (``None`` = all), validated."""
+    if rule_ids is None:
+        return default_rules()
+    selected = []
+    for rule_id in rule_ids:
+        if rule_id not in _REGISTRY:
+            raise ValueError(
+                f"unknown rule id {rule_id!r}; available: {list(available_rules())}"
+            )
+        selected.append(_REGISTRY[rule_id])
+    return selected
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """Id/description/hint rows for ``--list-rules`` and the JSON report."""
+    return [
+        {"id": rule.id, "description": rule.description, "hint": rule.hint}
+        for rule in default_rules()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` when not a plain chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def walk_same_function(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s body without descending into nested function scopes.
+
+    Used by the async rules: code inside a nested ``def``/``lambda`` does
+    not run in the enclosing coroutine's frame (it is typically shipped to
+    an executor), so its calls must not be attributed to the ``async def``.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def string_tuple(node: ast.AST) -> Optional[List[Tuple[str, int]]]:
+    """``[(value, lineno), ...]`` for a tuple/list of string constants."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: List[Tuple[str, int]] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        values.append((element.value, element.lineno))
+    return values
+
+
+# Import the rule modules for their registration side effects.  Order
+# fixes the id ordering shown by --list-rules ties (ids sort anyway).
+from repro.analysis.rules import async_rules as _async_rules  # noqa: F401
+from repro.analysis.rules import coherence as _coherence  # noqa: F401
+from repro.analysis.rules import exceptions as _exceptions  # noqa: F401
+from repro.analysis.rules import hot_path as _hot_path  # noqa: F401

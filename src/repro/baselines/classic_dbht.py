@@ -27,7 +27,7 @@ import numpy as np
 from repro.dendrogram.node import Dendrogram
 from repro.graph.matrix import validate_dissimilarity_matrix
 from repro.graph.shortest_paths import all_pairs_shortest_paths
-from repro.graph.traversal import connected_components, reachable_set
+from repro.graph.traversal import reachable_set
 from repro.graph.weighted_graph import WeightedGraph
 
 Triangle = FrozenSet[int]

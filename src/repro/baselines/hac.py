@@ -14,7 +14,7 @@ The output follows the scipy convention: the i-th merge creates cluster
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ k-means|| oversampling scheme of Bahmani et al.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

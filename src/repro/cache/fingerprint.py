@@ -36,6 +36,29 @@ import numpy as np
 #: the same configuration address the same entry.
 CACHE_KNOB_FIELDS = ("cache", "cache_dir")
 
+#: The config fields the fingerprint *does* hash — every ClusteringConfig
+#: field that is not a cache knob.  :func:`config_fingerprint` derives the
+#: set dynamically from ``to_dict()`` (nothing reads this tuple at hash
+#: time, so the key derivation is untouched), but the explicit accounting
+#: lets the config-fingerprint lint rule fail the build when a new config
+#: field is added without deciding whether it belongs in the cache key.
+FINGERPRINT_FIELDS = (
+    "method",
+    "num_clusters",
+    "prefix",
+    "apsp_method",
+    "landmarks",
+    "kernel",
+    "backend",
+    "workers",
+    "warm_start",
+    "precomputed",
+    "linkage",
+    "seed",
+    "num_restarts",
+    "spectral_neighbors",
+)
+
 #: Bumped whenever the key derivation changes; folded into every key.
 FINGERPRINT_VERSION = 1
 
@@ -75,7 +98,9 @@ def matrix_fingerprint(matrix: np.ndarray) -> str:
     if array.flags.c_contiguous:
         digest.update(memoryview(array).cast("B") if array.ndim else memoryview(array))
     else:
-        digest.update(array.tobytes())
+        # Non-contiguous fallback: hashing must read C-order bytes, and a
+        # strided view has no single buffer to hand the digest.
+        digest.update(array.tobytes())  # repro: allow[hot-path-copy]
     return digest.hexdigest()
 
 

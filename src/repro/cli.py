@@ -107,6 +107,18 @@ _FLAG_SPELLINGS = (
     ("method", "--method"),
 )
 
+# ClusteringConfig fields deliberately reachable only through a --config
+# file (no dedicated flag): research knobs that would clutter the CLI
+# surface.  The config-fingerprint lint rule checks that every config
+# field is either flag-wired above / in _config_from_args or listed here,
+# so adding a field without deciding its CLI story fails `repro lint`.
+_CONFIG_FILE_ONLY_FIELDS = (
+    "linkage",
+    "seed",
+    "num_restarts",
+    "spectral_neighbors",
+)
+
 
 def _flagged_message(error: Exception) -> str:
     message = str(error)
@@ -669,6 +681,17 @@ def build_parser() -> argparse.ArgumentParser:
         "list-methods", help="list the estimator ids the method registry resolves"
     )
     list_methods.set_defaults(func=_command_list_methods)
+
+    # The lint verb is also dispatched pre-import by repro/__main__.py so
+    # `python -m repro lint` works without numpy; registering it here too
+    # keeps `repro.cli.main(["lint", ...])` and --help consistent.
+    from repro.analysis.cli import add_lint_arguments, run_lint_command
+
+    lint = subparsers.add_parser(
+        "lint", help="run the AST-based invariant checker over the source tree"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_lint_command)
     return parser
 
 

@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.core.bubble_tree import BubbleTree
 from repro.core.direction import DirectionResult
-from repro.graph.weighted_graph import WeightedGraph
 from repro.parallel.atomics import WriteMax, WriteMin
 from repro.parallel.cost_model import WorkSpanTracker
 

@@ -15,9 +15,8 @@ No network access is ever attempted.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

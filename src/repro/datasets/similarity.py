@@ -9,7 +9,7 @@ log-returns (Musmeci et al.) before computing correlations.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

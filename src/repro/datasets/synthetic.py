@@ -12,7 +12,7 @@ filtered-graph methods exploit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -8,7 +8,7 @@ small, dependency-free helpers on top of :class:`Dendrogram`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -9,8 +9,8 @@ knobs live here so a user with more time can turn them up
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 
 @dataclass

@@ -10,10 +10,9 @@ qualitative comparison.
 
 from __future__ import annotations
 
-import math
 import time
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ never creates two distinct faces with the same corner set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Tuple
+from typing import FrozenSet, Tuple
 
 Triangle = FrozenSet[int]
 

@@ -45,8 +45,8 @@ warm tick's APSP cost scales with the delta instead of ``n^2 log n``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 import numpy as np
 

@@ -8,7 +8,6 @@ ratio of this sum relative to the sequential TMFG (and to the PMFG).
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
 
 import numpy as np
 

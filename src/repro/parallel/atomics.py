@@ -15,7 +15,7 @@ deterministically by the second component.
 from __future__ import annotations
 
 import threading
-from typing import Any, Generic, Optional, TypeVar
+from typing import Any, Generic, TypeVar
 
 T = TypeVar("T")
 

@@ -17,8 +17,8 @@ scale better, exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 
 @dataclass

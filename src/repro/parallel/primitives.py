@@ -11,7 +11,7 @@ per algorithm phase.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.parallel.scheduler import ParallelBackend, get_backend
 

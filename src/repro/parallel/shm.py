@@ -68,7 +68,7 @@ def _tracker_pid() -> Optional[int]:
         from multiprocessing import resource_tracker
 
         return resource_tracker._resource_tracker._pid  # type: ignore[attr-defined]
-    except Exception:
+    except Exception:  # repro: allow[swallowed-exception] - probing a CPython private; None falls back to pickled dispatch
         return None
 
 
@@ -154,7 +154,7 @@ def _attach(ref: SharedMatrixRef) -> shared_memory.SharedMemory:
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
-        except Exception:
+        except Exception:  # repro: allow[swallowed-exception] - best-effort de-dup of tracker bookkeeping; worst case is a spurious leak warning
             pass
     return segment
 
@@ -189,11 +189,11 @@ def shared_memory_available() -> bool:
     """
     try:
         probe = shared_memory.SharedMemory(create=True, size=16)
-    except Exception:
+    except Exception:  # repro: allow[swallowed-exception] - availability probe; False IS the diagnostic, callers fall back
         return False
     try:
         probe.close()
         probe.unlink()
-    except Exception:
+    except Exception:  # repro: allow[swallowed-exception] - probe cleanup on an already-degraded platform
         pass
     return True

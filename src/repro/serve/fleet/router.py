@@ -40,7 +40,7 @@ import os
 import signal
 import threading
 from http import HTTPStatus
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import __version__
 from repro.serve.fleet.ring import rendezvous_rank, request_affinity_key

@@ -63,7 +63,6 @@ from repro.serve.batcher import (
 )
 from repro.serve.httpio import (
     HEADER_LIMIT as _HEADER_LIMIT,
-    MAX_BODY_BYTES,
     BadRequest as _BadRequest,
     BinaryBody,
     Request as _Request,

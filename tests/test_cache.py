@@ -599,3 +599,54 @@ class TestCrossProcessDiskCache:
         # Atomic rename cleaned up after itself: no .tmp files left.
         leftovers = [name for name in os.listdir(cache_dir) if name.endswith(".tmp")]
         assert leftovers == []
+
+
+class TestFingerprintFieldAccounting:
+    """FINGERPRINT_FIELDS + CACHE_KNOB_FIELDS must cover the dataclass
+    exactly — the runtime twin of the config-fingerprint lint rule."""
+
+    def test_accounting_partitions_the_config_fields(self):
+        import dataclasses
+
+        from repro.cache.fingerprint import CACHE_KNOB_FIELDS, FINGERPRINT_FIELDS
+
+        declared = {f.name for f in dataclasses.fields(ClusteringConfig)}
+        consumed = set(FINGERPRINT_FIELDS)
+        excluded = set(CACHE_KNOB_FIELDS)
+        assert consumed | excluded == declared
+        assert not consumed & excluded
+
+    def test_knob_changes_leave_the_fingerprint_alone(self):
+        from repro.cache.fingerprint import config_fingerprint
+
+        base = ClusteringConfig(num_clusters=3, prefix=2)
+        cached = base.replace(cache=True, cache_dir="/tmp/somewhere")
+        assert config_fingerprint(base) == config_fingerprint(cached)
+
+    def test_every_fingerprint_field_changes_the_key(self):
+        from repro.cache.fingerprint import config_fingerprint
+
+        base = ClusteringConfig(num_clusters=3, prefix=2)
+        variants = {
+            "method": "hac-average",
+            "num_clusters": 4,
+            "prefix": 3,
+            "apsp_method": "landmark",
+            "landmarks": 16,
+            "kernel": "csr",
+            "backend": "thread",
+            "workers": 2,
+            "warm_start": True,
+            "precomputed": True,
+            "linkage": "average",
+            "seed": 7,
+            "num_restarts": 4,
+            "spectral_neighbors": 12,
+        }
+        from repro.cache.fingerprint import FINGERPRINT_FIELDS
+
+        assert set(variants) == set(FINGERPRINT_FIELDS)
+        reference = config_fingerprint(base)
+        for field_name, value in variants.items():
+            changed = config_fingerprint({**base.to_dict(), field_name: value})
+            assert changed != reference, field_name

@@ -521,3 +521,24 @@ class TestServeCommand:
             if process.poll() is None:  # pragma: no cover - cleanup on failure
                 process.kill()
                 process.wait(timeout=10)
+
+
+class TestLintSubcommand:
+    """`repro lint` rides the main CLI (and the numpy-free __main__ shortcut)."""
+
+    def test_lint_is_a_cli_subcommand(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_exits_nonzero_on_a_violation(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\n\nasync def handler():\n    time.sleep(0.1)\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "[async-blocking]" in capsys.readouterr().out
+
+    def test_lint_appears_in_parser_help(self):
+        parser = build_parser()
+        assert "lint" in parser.format_help()
