@@ -33,7 +33,7 @@ to any exported name imports its real module as before.
 
 from importlib import import_module
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: Exported name -> defining module; resolved on first attribute access.
 _EXPORTS = {
@@ -57,6 +57,8 @@ _EXPORTS = {
     "cut_k": "repro.dendrogram",
     "adjusted_mutual_information": "repro.metrics",
     "adjusted_rand_index": "repro.metrics",
+    "Tracer": "repro.obs",
+    "trace_span": "repro.obs",
 }
 
 __all__ = [*sorted(_EXPORTS), "__version__"]

@@ -150,3 +150,4 @@ from repro.analysis.rules import async_rules as _async_rules  # noqa: F401
 from repro.analysis.rules import coherence as _coherence  # noqa: F401
 from repro.analysis.rules import exceptions as _exceptions  # noqa: F401
 from repro.analysis.rules import hot_path as _hot_path  # noqa: F401
+from repro.analysis.rules import tracing as _tracing  # noqa: F401

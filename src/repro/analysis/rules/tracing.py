@@ -1,0 +1,121 @@
+"""Span-lifecycle rule for the observability layer.
+
+A :meth:`Tracer.start_span` call hands back a live span that must be
+closed — every closed span is what reaches the event log, the metrics
+histograms, and a request's echoed trace block.  A span that is started
+but never ended silently drops its subtree from every waterfall and
+leaks the ambient-context token that parents subsequent spans.
+
+The safe spellings are structural and cheap to verify per function:
+
+* ``with tracer.start_span(...):`` (or ``async with``) — the context
+  manager ends the span on every exit path, error flag included;
+* ``span = tracer.start_span(...)`` where the *same function* later does
+  ``with span:``, calls ``span.end()``, or returns the span (handing the
+  lifecycle to the caller, as ``trace_span`` and the serve helpers do);
+* ``return tracer.start_span(...)`` directly.
+
+Anything else — a bare expression statement, a span passed straight into
+another call, an assigned span that is never entered, ended, or returned
+— is flagged.  Intentional hand-offs through other channels carry a
+``# repro: allow[span-unclosed]`` pragma with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register_rule, walk_same_function
+
+
+def _is_start_span(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "start_span"
+    )
+
+
+@register_rule
+class SpanUnclosed(Rule):
+    """Flag ``.start_span()`` calls whose span is never closed."""
+
+    id = "span-unclosed"
+    description = (
+        "a .start_span() call that is not used as a context manager, .end()ed "
+        "in the same function, or returned to the caller leaks an open span: "
+        "its subtree never reaches the event log or the /metrics histograms"
+    )
+    hint = (
+        "enter the span (`with tracer.start_span(...):`), call .end() on it "
+        "before the function exits, or return it so the caller owns the "
+        "lifecycle; deliberate hand-offs can pragma with "
+        "# repro: allow[span-unclosed]"
+    )
+
+    def check_module(self, module) -> Iterable[Finding]:
+        # Module top level (incl. class bodies) is one scope; every def —
+        # nested or method — is its own.  walk_same_function keeps the
+        # name-based tracking honest: a span assigned in one function and
+        # ended in another is a hand-off this rule cannot see, and should
+        # be spelled as a return or pragma'd.
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            yield from self._check_scope(module, scope)
+
+    def _check_scope(self, module, scope: ast.AST) -> Iterable[Finding]:
+        span_calls: List[ast.Call] = []
+        safe_calls: Set[int] = set()  # used directly in an allowed position
+        call_name: Dict[int, str] = {}  # call id -> name it was assigned to
+        closed_names: Set[str] = set()  # entered via with / .end()ed / returned
+        for node in walk_same_function(scope):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _is_start_span(item.context_expr):
+                        safe_calls.add(id(item.context_expr))
+                    elif isinstance(item.context_expr, ast.Name):
+                        closed_names.add(item.context_expr.id)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if _is_start_span(node.value):
+                    safe_calls.add(id(node.value))
+                elif isinstance(node.value, ast.Name):
+                    closed_names.add(node.value.id)
+            elif isinstance(node, ast.Assign):
+                if (
+                    _is_start_span(node.value)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    call_name[id(node.value)] = node.targets[0].id
+            elif isinstance(node, ast.AnnAssign):
+                if _is_start_span(node.value) and isinstance(node.target, ast.Name):
+                    call_name[id(node.value)] = node.target.id
+            elif isinstance(node, ast.Call):
+                if _is_start_span(node):
+                    span_calls.append(node)
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "end"
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    closed_names.add(node.func.value.id)
+        for call in span_calls:
+            if id(call) in safe_calls:
+                continue
+            name = call_name.get(id(call))
+            if name is not None and name in closed_names:
+                continue
+            where = f"assigned to {name!r} but" if name is not None else "started and"
+            yield self.finding(
+                module,
+                call,
+                f"span {where} never entered as a context manager, .end()ed, "
+                f"or returned in this function",
+            )

@@ -38,6 +38,7 @@ from repro.api.config import ClusteringConfig
 from repro.api.estimators import make_estimator
 from repro.api.result import ClusterResult
 from repro.cache import get_result_cache, result_cache_key
+from repro.obs.tracer import trace_span
 from repro.parallel import shm
 from repro.parallel.scheduler import (
     ParallelBackend,
@@ -127,74 +128,77 @@ def cluster_many(
     elif isinstance(backend, str):
         backend = make_backend(backend, num_workers=workers)
         owns_backend = True
-    try:
-        if isinstance(backend, ProcessBackend) and config.backend not in (None, "serial"):
-            warnings.warn(
-                f"cluster_many: a process fan-out with config.backend="
-                f"{config.backend!r} would nest pools and multiply workers; "
-                "forcing the per-fit backend to serial",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            config = config.replace(backend=None, workers=None)
+    with trace_span("batch.cluster_many", jobs=len(matrices)) as probe:
+        try:
+            if isinstance(backend, ProcessBackend) and config.backend not in (None, "serial"):
+                warnings.warn(
+                    f"cluster_many: a process fan-out with config.backend="
+                    f"{config.backend!r} would nest pools and multiply workers; "
+                    "forcing the per-fit backend to serial",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                config = config.replace(backend=None, workers=None)
 
-        # Normalize the config through the registry before fingerprinting:
-        # the estimator a worker builds pins method aliases to their
-        # canonical id (par-tdbht -> tmfg-dbht) and applies id-pinned
-        # fields (comp -> linkage="complete") and fingerprints *that*
-        # config, so keying on the raw config would store every alias
-        # under a second key and miss entries a direct estimator fit wrote.
-        config = make_estimator(config.method, config).config
+            # Normalize the config through the registry before fingerprinting:
+            # the estimator a worker builds pins method aliases to their
+            # canonical id (par-tdbht -> tmfg-dbht) and applies id-pinned
+            # fields (comp -> linkage="complete") and fingerprints *that*
+            # config, so keying on the raw config would store every alias
+            # under a second key and miss entries a direct estimator fit wrote.
+            config = make_estimator(config.method, config).config
 
-        arrays = [np.asarray(matrix, dtype=float) for matrix in matrices]
-        cache = get_result_cache(config.cache_dir) if config.cache else None
-        if not dedupe and cache is None:
-            # Explicit cold path (bench baselines): nothing consumes the
-            # fingerprints, so skip hashing the inputs entirely.
-            return _dispatch(backend, config, arrays)
-        keys = [result_cache_key(config, array) for array in arrays]
+            arrays = [np.asarray(matrix, dtype=float) for matrix in matrices]
+            cache = get_result_cache(config.cache_dir) if config.cache else None
+            if not dedupe and cache is None:
+                # Explicit cold path (bench baselines): nothing consumes the
+                # fingerprints, so skip hashing the inputs entirely.
+                return _dispatch(backend, config, arrays)
+            keys = [result_cache_key(config, array) for array in arrays]
 
-        # One representative result per distinct key: cache hits now,
-        # computed misses below.
-        resolved: Dict[str, ClusterResult] = {}
-        if cache is not None:
-            for key in dict.fromkeys(keys):
-                hit = cache.get(key)
-                if hit is not None:
-                    resolved[key] = hit
-        if dedupe:
-            first_index: Dict[str, int] = {}
+            # One representative result per distinct key: cache hits now,
+            # computed misses below.
+            resolved: Dict[str, ClusterResult] = {}
+            if cache is not None:
+                for key in dict.fromkeys(keys):
+                    hit = cache.get(key)
+                    if hit is not None:
+                        resolved[key] = hit
+            if dedupe:
+                first_index: Dict[str, int] = {}
+                for index, key in enumerate(keys):
+                    if key not in resolved:
+                        first_index.setdefault(key, index)
+                todo = sorted(first_index.values())
+            else:
+                todo = [i for i, key in enumerate(keys) if key not in resolved]
+            probe.set_attribute("distinct", len(todo))
+            probe.set_attribute("cache_hits", len(resolved))
+
+            results: List[Optional[ClusterResult]] = [None] * len(arrays)
+            if todo:
+                computed = _dispatch(backend, config, [arrays[i] for i in todo])
+                for index, result in zip(todo, computed):
+                    results[index] = result
+                    key = keys[index]
+                    if key not in resolved:
+                        resolved[key] = result
+                        # Misses dispatched to serial/thread backends already
+                        # stored themselves via estimator.fit (same process-wide
+                        # cache), so only store what is still absent — process
+                        # workers populate their own memory tier, not ours.
+                        # (Dispatch keeps config.cache on rather than stripping
+                        # it: the config is embedded in serialized payloads, so
+                        # a stripped copy would break hit/cold byte-identity.)
+                        if cache is not None and key not in cache:
+                            cache.put(key, result.clone())
             for index, key in enumerate(keys):
-                if key not in resolved:
-                    first_index.setdefault(key, index)
-            todo = sorted(first_index.values())
-        else:
-            todo = [i for i, key in enumerate(keys) if key not in resolved]
-
-        results: List[Optional[ClusterResult]] = [None] * len(arrays)
-        if todo:
-            computed = _dispatch(backend, config, [arrays[i] for i in todo])
-            for index, result in zip(todo, computed):
-                results[index] = result
-                key = keys[index]
-                if key not in resolved:
-                    resolved[key] = result
-                    # Misses dispatched to serial/thread backends already
-                    # stored themselves via estimator.fit (same process-wide
-                    # cache), so only store what is still absent — process
-                    # workers populate their own memory tier, not ours.
-                    # (Dispatch keeps config.cache on rather than stripping
-                    # it: the config is embedded in serialized payloads, so
-                    # a stripped copy would break hit/cold byte-identity.)
-                    if cache is not None and key not in cache:
-                        cache.put(key, result.clone())
-        for index, key in enumerate(keys):
-            if results[index] is None:
-                results[index] = resolved[key].clone()
-        return results
-    finally:
-        if owns_backend:
-            backend.close()
+                if results[index] is None:
+                    results[index] = resolved[key].clone()
+            return results
+        finally:
+            if owns_backend:
+                backend.close()
 
 
 def _dispatch(

@@ -36,6 +36,7 @@ from repro.datasets.similarity import (
     default_dissimilarity,
     similarity_and_dissimilarity,
 )
+from repro.obs.tracer import trace_span
 from repro.parallel.scheduler import ParallelBackend
 
 
@@ -119,48 +120,56 @@ class ClusteringEstimator:
         # Drop the previous fit up front so a failed refit can never serve
         # stale labels.
         self.result_ = None
-        cache = cache_key = None
-        if (
-            self.config.cache
-            and fit_params.get("warm_start") is None
-            and fit_params.get("apsp_state") is None
-        ):
-            from repro.cache import get_result_cache, result_cache_key
+        with trace_span("estimator.fit", method=self.method_id) as probe:
+            cache = cache_key = None
+            if (
+                self.config.cache
+                and fit_params.get("warm_start") is None
+                and fit_params.get("apsp_state") is None
+            ):
+                from repro.cache import get_result_cache, result_cache_key
 
-            # Key on the same float view the pipeline will cluster, so
-            # int/float spellings of identical data share an entry.
-            X = np.asarray(X, dtype=float)
+                # Key on the same float view the pipeline will cluster, so
+                # int/float spellings of identical data share an entry.
+                X = np.asarray(X, dtype=float)
+                if dissimilarity is not None:
+                    dissimilarity = np.asarray(dissimilarity, dtype=float)
+                cache = get_result_cache(self.config.cache_dir)
+                cache_key = result_cache_key(self.config, X, dissimilarity)
+                cached = cache.get(cache_key)
+                if cached is not None:
+                    probe.set_attribute("cache", "hit")
+                    self.result_ = cached.clone()
+                    return self
+            elif self.config.cache:
+                probe.set_attribute("cache", "bypass")  # warm-start / apsp_state
+            else:
+                probe.set_attribute("cache", "off")
+            start = time.perf_counter()
+            data, similarity, derived_dissimilarity = self._prepare(X)
+            probe.set_attribute("n", int(np.asarray(X).shape[0]))
             if dissimilarity is not None:
-                dissimilarity = np.asarray(dissimilarity, dtype=float)
-            cache = get_result_cache(self.config.cache_dir)
-            cache_key = result_cache_key(self.config, X, dissimilarity)
-            cached = cache.get(cache_key)
-            if cached is not None:
-                self.result_ = cached.clone()
-                return self
-        start = time.perf_counter()
-        data, similarity, derived_dissimilarity = self._prepare(X)
-        if dissimilarity is not None:
-            if self.requires_raw_data:
-                raise ValueError(
-                    f"method {self.method_id!r} operates on raw series and does not "
-                    "accept a dissimilarity matrix"
-                )
-            derived_dissimilarity = np.asarray(dissimilarity, dtype=float)
-        backend = self._backend if self._backend is not None else self.config.open_backend()
-        owns_backend = self._backend is None and backend is not None
-        try:
-            result = self._fit(data, similarity, derived_dissimilarity, backend, **fit_params)
-        finally:
-            if owns_backend:
-                backend.close()
-        result.step_seconds.setdefault("total", time.perf_counter() - start)
-        if cache is not None:
-            # Store a private clone so later caller mutations of the
-            # returned result can never alter what the cache serves.
-            cache.put(cache_key, result.clone())
-        self.result_ = result
-        return self
+                if self.requires_raw_data:
+                    raise ValueError(
+                        f"method {self.method_id!r} operates on raw series and does not "
+                        "accept a dissimilarity matrix"
+                    )
+                derived_dissimilarity = np.asarray(dissimilarity, dtype=float)
+            backend = self._backend if self._backend is not None else self.config.open_backend()
+            owns_backend = self._backend is None and backend is not None
+            try:
+                result = self._fit(data, similarity, derived_dissimilarity, backend, **fit_params)
+            finally:
+                if owns_backend:
+                    backend.close()
+            result.step_seconds.setdefault("total", time.perf_counter() - start)
+            if cache is not None:
+                probe.set_attribute("cache", "miss")
+                # Store a private clone so later caller mutations of the
+                # returned result can never alter what the cache serves.
+                cache.put(cache_key, result.clone())
+            self.result_ = result
+            return self
 
     def fit_predict(self, X: np.ndarray, y: Optional[np.ndarray] = None, **fit_params: Any) -> np.ndarray:
         """``fit(X)`` and return the flat labels."""

@@ -30,6 +30,8 @@ from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Optional
 
+from repro.obs.tracer import trace_span
+
 #: Envelope magic + format version; bump the version to invalidate disk entries.
 _ENTRY_MAGIC = "repro-result-cache"
 ENTRY_FORMAT_VERSION = 1
@@ -161,22 +163,26 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[Any]:
         """The cached value for ``key``, or ``None`` on a miss."""
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return self._entries[key]
-        if self.cache_dir is not None:
-            value = self._read_disk(key)
-            if value is not None:
-                with self._lock:
+        with trace_span("cache.get") as probe:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
                     self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                    self._insert(key, value)
-                return value
-        with self._lock:
-            self.stats.misses += 1
-        return None
+                    probe.set_attribute("tier", "memory")
+                    return self._entries[key]
+            if self.cache_dir is not None:
+                value = self._read_disk(key)
+                if value is not None:
+                    with self._lock:
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                        self._insert(key, value)
+                    probe.set_attribute("tier", "disk")
+                    return value
+            with self._lock:
+                self.stats.misses += 1
+            probe.set_attribute("tier", "miss")
+            return None
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -195,11 +201,12 @@ class ResultCache:
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` in both tiers."""
-        with self._lock:
-            self._insert(key, value)
-            self.stats.stores += 1
-        if self.cache_dir is not None:
-            self._write_disk(key, value)
+        with trace_span("cache.put", disk=self.cache_dir is not None):
+            with self._lock:
+                self._insert(key, value)
+                self.stats.stores += 1
+            if self.cache_dir is not None:
+                self._write_disk(key, value)
 
     def _insert(self, key: str, value: Any) -> None:
         """Memory-tier insert + LRU eviction; caller holds the lock."""

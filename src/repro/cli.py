@@ -22,6 +22,10 @@ Three subcommands cover the library's main workflows without writing Python:
     ``--cache-dir``, ...) set the *default* config that request payloads
     overlay.
 
+``trace``
+    Inspect the JSON-lines event log written by ``serve --trace-log``:
+    render per-trace span waterfalls and a per-kind latency breakdown.
+
 ``figure``
     Re-run one of the paper's figure reproductions and print its rows.
 
@@ -34,6 +38,8 @@ Examples
     python -m repro cluster data.csv --config cfg.json
     python -m repro stream returns.csv --clusters 5 --window 250 --hop 5 --json ticks.json
     python -m repro serve --port 8752 --max-batch-size 16 --max-wait-ms 10
+    python -m repro serve --port 8752 --workers 2 --trace-log traces.jsonl
+    python -m repro trace traces.jsonl --limit 3
     python -m repro figure fig6 --scale 0.02
     python -m repro list-figures
 """
@@ -349,6 +355,13 @@ def _serve_replica_argv(args: argparse.Namespace) -> list:
             argv += [flag, str(value)]
     if args.no_cache:
         argv.append("--no-cache")
+    if args.trace_log is not None:
+        # Passed through verbatim: a {replica_id} placeholder is expanded
+        # per replica by the supervisor; a plain path is shared by every
+        # replica (the event log appends whole lines, so that is safe).
+        argv += ["--trace-log", args.trace_log]
+        if args.trace_sample != 1.0:
+            argv += ["--trace-sample", str(args.trace_sample)]
     return argv
 
 
@@ -359,7 +372,19 @@ def _command_serve_fleet(args: argparse.Namespace) -> int:
         # Validate the shared config up front so bad flags fail fast here
         # instead of crash-looping N replicas.
         config = _config_from_args(args, ClusteringConfig(cache=True))
-        fleet = build_fleet(args.replicas, _serve_replica_argv(args), args.host, args.port)
+        router_trace_log = (
+            args.trace_log.replace("{replica_id}", "router")
+            if args.trace_log is not None
+            else None
+        )
+        fleet = build_fleet(
+            args.replicas,
+            _serve_replica_argv(args),
+            args.host,
+            args.port,
+            trace_log=router_trace_log,
+            trace_sample=args.trace_sample,
+        )
     except (ValueError, OSError) as error:
         _print_cli_error(error)
         return 2
@@ -408,6 +433,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             max_queue_depth=args.max_queue,
             fit_workers=args.fit_workers,
             binary=args.binary,
+            trace_log=(
+                args.trace_log.replace("{replica_id}", "server")
+                if args.trace_log is not None
+                else None
+            ),
+            trace_sample=args.trace_sample,
         )
     except (ValueError, OSError) as error:
         _print_cli_error(error)
@@ -431,6 +462,73 @@ def _command_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass  # signal handler already drained; exit quietly
     print("repro serve drained and stopped", flush=True)
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.events import load_trace_events
+    from repro.obs.traceview import (
+        format_kind_table,
+        format_waterfall,
+        group_traces,
+        kind_breakdown,
+        trace_summary,
+    )
+
+    try:
+        events = load_trace_events(args.log)
+    except (OSError, ValueError) as error:
+        _print_cli_error(error)
+        return 2
+    if not events:
+        print("no trace events found", file=sys.stderr)
+        return 1
+
+    traces = group_traces(events)
+    if args.trace is not None:
+        if args.trace not in traces:
+            _print_cli_error(
+                ValueError(
+                    f"trace {args.trace!r} not found in the log(s); "
+                    f"{len(traces)} trace(s) present"
+                )
+            )
+            return 2
+        selected = {args.trace: traces[args.trace]}
+    else:
+        # Most recent traces first, capped at --limit.
+        ordered = sorted(
+            traces.items(),
+            key=lambda item: trace_summary(item[0], item[1])["started_unix"],
+            reverse=True,
+        )
+        selected = dict(ordered[: args.limit])
+
+    if args.json:
+        payload = {
+            "events": len(events),
+            "traces": [
+                {
+                    **trace_summary(trace_id, spans),
+                    "spans_detail": spans,
+                }
+                for trace_id, spans in selected.items()
+            ],
+            "kinds": kind_breakdown(events),
+        }
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+
+    for trace_id, spans in selected.items():
+        print(format_waterfall(trace_id, spans))
+        print()
+    print(
+        f"{len(events)} event(s), {len(traces)} trace(s) "
+        f"({len(selected)} shown; --limit/--trace to adjust)"
+    )
+    print()
+    print(format_kind_table(kind_breakdown(events)))
     return 0
 
 
@@ -657,6 +755,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON-only surface: answer 415 to binary matrix bodies",
     )
     serve.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append one JSON line per finished span to PATH and enable request "
+            "tracing; the literal {replica_id} in PATH becomes the replica id "
+            "under --workers N (or 'server'/'router' for the local process)"
+        ),
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help=(
+            "fraction of untraced requests to originate a trace for when "
+            "--trace-log is set (default 1.0; client-supplied trace ids are "
+            "always honored)"
+        ),
+    )
+    serve.add_argument(
         "--workers",
         dest="replicas",
         type=int,
@@ -668,6 +787,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_flags(serve, include_workers=False)
     serve.set_defaults(func=_command_serve)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect a --trace-log: per-trace waterfalls and per-kind latency breakdowns",
+    )
+    trace.add_argument(
+        "log",
+        nargs="+",
+        help="trace event log file(s) written by repro serve --trace-log",
+    )
+    trace.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE_ID",
+        help="show only this trace id (default: the --limit most recent traces)",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="maximum number of traces to render (default 10)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable summaries and span details instead of waterfalls",
+    )
+    trace.set_defaults(func=_command_trace)
 
     figure = subparsers.add_parser("figure", help="re-run one of the paper's figures")
     figure.add_argument("name", help="figure id, e.g. fig6 (see list-figures)")

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.weighted_graph import WeightedGraph
+from repro.obs.tracer import trace_span
 from repro.parallel.kernels import get_kernel, register_kernel, resolve_kernel_name
 from repro.parallel.scheduler import ParallelBackend, get_backend, make_backend
 
@@ -167,7 +168,10 @@ def all_pairs_shortest_paths(
         raise ValueError(
             f"unknown APSP method {method!r}; expected one of: {valid}"
         ) from None
-    return fn(graph, backend=backend, kernel=kernel, **options)
+    with trace_span("kernel.apsp", method=method, n=int(n)) as probe:
+        if kernel is not None:
+            probe.set_attribute("kernel", kernel)
+        return fn(graph, backend=backend, kernel=kernel, **options)
 
 
 def shortest_paths_from_sources(

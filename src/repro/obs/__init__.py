@@ -1,0 +1,69 @@
+"""``repro.obs`` — stdlib-only tracing, event logging, and exposition.
+
+The observability subsystem for the serving stack:
+
+* :mod:`repro.obs.tracer` — :class:`Span`/:class:`Tracer`, ambient
+  ``contextvars`` propagation (:func:`trace_span`), and the HTTP header
+  pair that carries a trace across the client → router → replica hops.
+* :mod:`repro.obs.events` — the schema-versioned JSON-lines event log
+  behind ``repro serve --trace-log`` (one line per closed span).
+* :mod:`repro.obs.prometheus` — Prometheus text exposition of the
+  ``/metrics`` JSON documents plus exact bucket-wise fleet merging.
+* :mod:`repro.obs.traceview` — waterfall/breakdown reconstruction for
+  the ``repro trace`` CLI.
+
+Everything here is importable without numpy: the CI lint job and the
+``repro trace`` / ``repro lint`` entry points run on a bare interpreter.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    TraceEventLog,
+    iter_trace_events,
+    load_trace_events,
+    validate_event,
+)
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    merge_histogram_dicts,
+    merge_metrics_documents,
+    render_prometheus,
+    wants_prometheus,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    PARENT_SPAN_HEADER,
+    TRACE_ECHO_HEADER,
+    TRACE_ID_HEADER,
+    Span,
+    Tracer,
+    current_span,
+    new_span_id,
+    new_trace_id,
+    trace_span,
+    valid_trace_id,
+)
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "NOOP_SPAN",
+    "PARENT_SPAN_HEADER",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Span",
+    "TRACE_ECHO_HEADER",
+    "TRACE_ID_HEADER",
+    "TraceEventLog",
+    "Tracer",
+    "current_span",
+    "iter_trace_events",
+    "load_trace_events",
+    "merge_histogram_dicts",
+    "merge_metrics_documents",
+    "new_span_id",
+    "new_trace_id",
+    "render_prometheus",
+    "trace_span",
+    "valid_trace_id",
+    "validate_event",
+    "wants_prometheus",
+]

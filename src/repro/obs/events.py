@@ -1,0 +1,155 @@
+"""The structured JSON-lines trace event log.
+
+One line per closed span, shaped by :meth:`Span.to_dict` and pinned by
+``EVENT_SCHEMA_VERSION``.  The log is append-only and every event is a
+single ``write()`` + ``flush()`` of one ``\\n``-terminated line, so a
+fleet — router plus N replica processes — can share one ``--trace-log``
+file: POSIX append-mode writes of small lines land whole, and each line
+carries its writer's ``pid``.  A failing disk degrades to a counter
+(``dropped``), never to a serving error.
+
+Readers use :func:`iter_trace_events` / :func:`load_trace_events`, which
+validate each line against the schema (:func:`validate_event`) so CI and
+``repro trace`` both reject malformed logs loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.obs.tracer import EVENT_SCHEMA_VERSION, Span
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "TraceEventLog",
+    "iter_trace_events",
+    "load_trace_events",
+    "validate_event",
+]
+
+#: field name -> accepted types; ``parent_id`` may also be None.
+_EVENT_FIELDS: Dict[str, tuple] = {
+    "schema": (int,),
+    "trace_id": (str,),
+    "span_id": (str,),
+    "parent_id": (str, type(None)),
+    "kind": (str,),
+    "start_unix": (int, float),
+    "duration_ms": (int, float),
+    "error": (bool,),
+    "pid": (int,),
+    "attributes": (dict,),
+}
+
+
+def validate_event(event: Any) -> Dict[str, Any]:
+    """``event`` back, or :class:`ValueError` naming the schema breach."""
+    if not isinstance(event, dict):
+        raise ValueError(f"trace event must be an object, got {type(event).__name__}")
+    for field, types in _EVENT_FIELDS.items():
+        if field not in event:
+            raise ValueError(f"trace event missing field {field!r}")
+        if not isinstance(event[field], types):
+            raise ValueError(
+                f"trace event field {field!r} has type "
+                f"{type(event[field]).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    if event["schema"] != EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"trace event schema {event['schema']} unsupported "
+            f"(reader understands {EVENT_SCHEMA_VERSION})"
+        )
+    if not event["kind"]:
+        raise ValueError("trace event has an empty kind")
+    return event
+
+
+class TraceEventLog:
+    """Append-mode JSON-lines sink for closed spans.
+
+    ``rate_limit`` (events/second, per process) bounds the log's write
+    amplification under traffic spikes: events beyond the budget within
+    one wall-clock second are counted in ``dropped`` instead of written.
+    Trace-level sampling lives on the server (whole traces in or out);
+    this limit is the belt-and-braces cap behind it.
+    """
+
+    def __init__(self, path: str, *, rate_limit: Optional[float] = None) -> None:
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError(f"rate_limit must be positive, got {rate_limit}")
+        self.path = path
+        self.rate_limit = rate_limit
+        self.written = 0
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._file: Optional[IO[str]] = None
+        self._window = 0
+        self._window_count = 0
+
+    def record(self, span: Span) -> None:
+        """Tracer-sink entry point: one span becomes one log line."""
+        self.write_event(span.to_dict())
+
+    def write_event(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+        with self._lock:
+            if self.rate_limit is not None:
+                window = int(time.time())
+                if window != self._window:
+                    self._window = window
+                    self._window_count = 0
+                if self._window_count >= self.rate_limit:
+                    self.dropped += 1
+                    return
+                self._window_count += 1
+            try:
+                if self._file is None:
+                    self._file = open(self.path, "a", encoding="utf-8")
+                self._file.write(line)
+                self._file.flush()
+            except OSError:
+                self.dropped += 1
+                return
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+def iter_trace_events(path: str) -> Iterator[Dict[str, Any]]:
+    """Validated events from one log file, in file order.
+
+    Raises :class:`ValueError` on the first malformed or wrong-schema
+    line (with its line number) — a trace log that fails to parse is a
+    bug, not noise to skip.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {error}") from error
+            try:
+                yield validate_event(event)
+            except ValueError as error:
+                raise ValueError(f"{path}:{lineno}: {error}") from error
+
+
+def load_trace_events(paths: Iterable[str]) -> List[Dict[str, Any]]:
+    """All events from ``paths`` (strings or one string), validated."""
+    if isinstance(paths, str):
+        paths = [paths]
+    events: List[Dict[str, Any]] = []
+    for path in paths:
+        events.extend(iter_trace_events(path))
+    return events

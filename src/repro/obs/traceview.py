@@ -1,0 +1,173 @@
+"""Trace reconstruction and rendering for ``repro trace``.
+
+Takes the flat JSON-lines event stream (possibly interleaved from the
+router and every replica appending to one shared ``--trace-log``) and
+rebuilds per-trace span trees, prints waterfalls with proportional
+duration bars, and summarises durations per span kind.  Pure functions
+over plain dicts — the CLI's ``--json`` mode reuses the same structures
+verbatim.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "format_kind_table",
+    "format_waterfall",
+    "group_traces",
+    "kind_breakdown",
+    "trace_summary",
+]
+
+
+def group_traces(events: List[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Events bucketed by trace id, each bucket ordered by start time;
+    traces ordered oldest-first by their earliest span."""
+    buckets: Dict[str, List[Dict[str, Any]]] = {}
+    for event in events:
+        buckets.setdefault(event["trace_id"], []).append(event)
+    for spans in buckets.values():
+        spans.sort(key=lambda event: event["start_unix"])
+    return dict(
+        sorted(buckets.items(), key=lambda item: item[1][0]["start_unix"])
+    )
+
+
+def trace_summary(trace_id: str, spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Headline numbers for one trace."""
+    start = min(span["start_unix"] for span in spans)
+    end = max(span["start_unix"] + span["duration_ms"] / 1000.0 for span in spans)
+    roots = [span for span in spans if _parent_of(span, spans) is None]
+    return {
+        "trace_id": trace_id,
+        "spans": len(spans),
+        "errors": sum(1 for span in spans if span["error"]),
+        "started_unix": round(start, 6),
+        "duration_ms": round((end - start) * 1000.0, 3),
+        "root_kinds": [span["kind"] for span in roots],
+        "pids": sorted({span["pid"] for span in spans}),
+    }
+
+
+def _parent_of(
+    span: Dict[str, Any], spans: List[Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    parent_id = span.get("parent_id")
+    if parent_id is None:
+        return None
+    for candidate in spans:
+        if candidate["span_id"] == parent_id:
+            return candidate
+    return None  # orphan: parent was sampled out or logged elsewhere
+
+
+def _children_index(spans: List[Dict[str, Any]]) -> Dict[Optional[str], List[Dict[str, Any]]]:
+    span_ids = {span["span_id"] for span in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {None: []}
+    for span in spans:
+        parent_id = span.get("parent_id")
+        if parent_id not in span_ids:
+            parent_id = None  # orphans render at the root level
+        children.setdefault(parent_id, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda event: event["start_unix"])
+    return children
+
+
+def format_waterfall(
+    trace_id: str, spans: List[Dict[str, Any]], *, bar_width: int = 32
+) -> str:
+    """An indented span tree with offset/width bars over the trace window.
+
+    Bar position is the span's wall-clock offset inside the trace; bar
+    length is its share of the total duration (minimum one cell so
+    microsecond spans stay visible).
+    """
+    summary = trace_summary(trace_id, spans)
+    trace_start = summary["started_unix"]
+    total_seconds = max(summary["duration_ms"] / 1000.0, 1e-9)
+    children = _children_index(spans)
+    started = time.strftime(
+        "%Y-%m-%dT%H:%M:%S", time.gmtime(summary["started_unix"])
+    )
+    lines = [
+        f"trace {trace_id}  spans={summary['spans']}  "
+        f"errors={summary['errors']}  duration={summary['duration_ms']:.1f}ms  "
+        f"started={started}Z"
+    ]
+    label_width = max(
+        (len(span["kind"]) + 2 * _depth(span, spans) for span in spans), default=0
+    )
+
+    def render(span: Dict[str, Any], depth: int) -> None:
+        offset = (span["start_unix"] - trace_start) / total_seconds
+        share = (span["duration_ms"] / 1000.0) / total_seconds
+        lead = max(0, min(bar_width - 1, int(round(offset * bar_width))))
+        body = max(1, min(bar_width - lead, int(round(share * bar_width))))
+        bar = " " * lead + "#" * body + " " * (bar_width - lead - body)
+        label = "  " * depth + span["kind"]
+        flag = " !" if span["error"] else ""
+        lines.append(
+            f"  {label:<{label_width}}  {span['duration_ms']:>9.2f}ms  |{bar}|"
+            f"  pid={span['pid']}{flag}"
+        )
+        for child in children.get(span["span_id"], []):
+            render(child, depth + 1)
+
+    for root in children[None]:
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def _depth(span: Dict[str, Any], spans: List[Dict[str, Any]]) -> int:
+    depth = 0
+    current = span
+    while depth < len(spans):
+        current = _parent_of(current, spans)
+        if current is None:
+            return depth
+        depth += 1
+    return depth
+
+
+def kind_breakdown(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-span-kind duration statistics over the whole event stream."""
+    by_kind: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for event in events:
+        by_kind.setdefault(event["kind"], []).append(float(event["duration_ms"]))
+        if event["error"]:
+            errors[event["kind"]] = errors.get(event["kind"], 0) + 1
+    rows = []
+    for kind, durations in sorted(by_kind.items()):
+        ordered = sorted(durations)
+        rows.append(
+            {
+                "kind": kind,
+                "count": len(ordered),
+                "errors": errors.get(kind, 0),
+                "total_ms": round(sum(ordered), 3),
+                "mean_ms": round(sum(ordered) / len(ordered), 3),
+                "p95_ms": round(ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))], 3),
+                "max_ms": round(ordered[-1], 3),
+            }
+        )
+    rows.sort(key=lambda row: row["total_ms"], reverse=True)
+    return rows
+
+
+def format_kind_table(rows: List[Dict[str, Any]]) -> str:
+    """The per-kind breakdown as an aligned text table."""
+    if not rows:
+        return "no spans"
+    header = f"{'kind':<24} {'count':>7} {'errors':>7} {'mean_ms':>10} {'p95_ms':>10} {'max_ms':>10} {'total_ms':>12}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['kind']:<24} {row['count']:>7} {row['errors']:>7} "
+            f"{row['mean_ms']:>10.3f} {row['p95_ms']:>10.3f} "
+            f"{row['max_ms']:>10.3f} {row['total_ms']:>12.3f}"
+        )
+    return "\n".join(lines)

@@ -44,6 +44,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.tracer import trace_span
+
 _TRACK_PARAM_SUPPORTED = None  # resolved on first attach
 
 
@@ -91,13 +93,14 @@ class SharedMatrixArena:
         intermediate ``ascontiguousarray`` materialization.
         """
         array = np.asarray(matrix)
-        segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
-        self._segments.append(segment)
-        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-        view[...] = array
-        return SharedMatrixRef(
-            segment.name, tuple(array.shape), array.dtype.str, _tracker_pid()
-        )
+        with trace_span("shm.share", nbytes=int(array.nbytes)):
+            segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+            self._segments.append(segment)
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            return SharedMatrixRef(
+                segment.name, tuple(array.shape), array.dtype.str, _tracker_pid()
+            )
 
     def close(self) -> None:
         """Close and unlink every segment (idempotent)."""

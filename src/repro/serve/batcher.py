@@ -29,6 +29,7 @@ flusher keeps cutting new batches while earlier ones are still fitting.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Deque, Dict, List, Optional, Set, Tuple
@@ -37,6 +38,7 @@ import numpy as np
 
 from repro.api.config import ClusteringConfig
 from repro.cache import matrix_fingerprint
+from repro.obs.tracer import NOOP_SPAN, Span, current_span
 
 #: runner(config, matrices) -> list of results, one per matrix, in order.
 BatchRunner = Callable[[ClusteringConfig, List[np.ndarray]], Awaitable[List[Any]]]
@@ -71,6 +73,13 @@ class BatchItem:
     config: ClusteringConfig
     future: "asyncio.Future[Tuple[Any, Dict[str, Any]]]"
     enqueued_at: float
+    #: The request's ambient server.request span (None when untraced),
+    #: captured at submit() so the batcher can attribute queue wait and
+    #: batch fit back to every member request's trace.
+    span: Optional[Span] = None
+    #: Wall-clock twin of enqueued_at, only stamped for traced requests
+    #: (span start times are wall-clock for cross-process ordering).
+    enqueued_wall: float = 0.0
 
 
 @dataclass
@@ -210,11 +219,14 @@ class MicroBatcher:
             raise QueueFull(
                 f"admission queue is full ({self.max_queue_depth} waiting requests)"
             )
+        span = current_span()
         item = BatchItem(
             matrix=matrix,
             config=config,
             future=self._loop.create_future(),
             enqueued_at=self._loop.time(),
+            span=span,
+            enqueued_wall=time.time() if span is not None else 0.0,
         )
         self._queue.append(item)
         self._wake.set()
@@ -288,8 +300,22 @@ class MicroBatcher:
         assert self._loop is not None
         config = items[0].config
         group_started = self._loop.time()
+        # One member's trace hosts the *live* batch-fit span: entering it
+        # as the ambient span here is what lets the executor-side
+        # cluster_many -> cache -> kernel spans (carried across the
+        # thread hop by contextvars.copy_context in the runner) attach to
+        # a real request trace.  Other traced members get an equal-length
+        # synthesized copy in _resolve, cross-linked by shared_span.
+        exemplar = next((item for item in items if item.span is not None), None)
+        fit_span = (
+            exemplar.span.child("serve.batch_fit", group_size=len(items))
+            if exemplar is not None
+            else NOOP_SPAN
+        )
+        live_fit = fit_span if exemplar is not None else None
         try:
-            results = await self._runner(config, [item.matrix for item in items])
+            with fit_span:
+                results = await self._runner(config, [item.matrix for item in items])
         except Exception as group_error:  # noqa: BLE001 - re-tried per request
             for item in items:
                 if item.future.done():
@@ -303,10 +329,11 @@ class MicroBatcher:
                     item.future.set_exception(solo_error)
                 else:
                     self._resolve(item, solo[0], batch_size, distinct,
-                                  batch_started, group_started)
+                                  batch_started, group_started, None)
             return
         for item, result in zip(items, results):
-            self._resolve(item, result, batch_size, distinct, batch_started, group_started)
+            self._resolve(item, result, batch_size, distinct, batch_started,
+                          group_started, live_fit)
 
     def _resolve(
         self,
@@ -316,6 +343,7 @@ class MicroBatcher:
         distinct: int,
         batch_started: float,
         group_started: float,
+        fit_span: Optional[Span] = None,
     ) -> None:
         assert self._loop is not None
         info = {
@@ -324,6 +352,31 @@ class MicroBatcher:
             "queue_seconds": max(0.0, batch_started - item.enqueued_at),
             "fit_seconds": self._loop.time() - group_started,
         }
+        span = item.span
+        if span is not None:
+            # Queue wait happened before any span could run; synthesize
+            # it now that the numbers exist, parented to the request span.
+            tracer = span.tracer
+            tracer.emit(
+                "serve.queue",
+                trace_id=span.trace_id,
+                parent_id=span.span_id,
+                started_at=item.enqueued_wall,
+                duration_seconds=info["queue_seconds"],
+                batch_size=batch_size,
+            )
+            if fit_span is None or fit_span.trace_id != span.trace_id:
+                # The live batch-fit span landed in the exemplar's trace;
+                # every other traced member gets a copy covering the same
+                # window so its own waterfall accounts for the fit time.
+                tracer.emit(
+                    "serve.batch_fit",
+                    trace_id=span.trace_id,
+                    parent_id=span.span_id,
+                    started_at=time.time() - info["fit_seconds"],
+                    duration_seconds=info["fit_seconds"],
+                    shared_span=fit_span.span_id if fit_span is not None else None,
+                )
         if not item.future.done():
             item.future.set_result((result, info))
 

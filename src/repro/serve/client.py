@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.obs.tracer import TRACE_ECHO_HEADER, TRACE_ID_HEADER, new_trace_id
 from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError, decode_envelope, encode_request
 
 #: Fractional spread applied to every 429 retry sleep.  A saturated
@@ -214,6 +215,20 @@ class ServeClient:
         """``GET /metrics``."""
         return self._request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus`` — the text exposition."""
+        connection = self._connect()
+        try:
+            connection.request("GET", "/metrics?format=prometheus")
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, socket.timeout, OSError):
+            self.close()
+            raise
+        if response.status != 200:
+            raise ServerError(response.status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
     def cluster(
         self,
         matrix: Any,
@@ -222,6 +237,7 @@ class ServeClient:
         retries: int = 0,
         retry_backoff: float = 0.0,
         binary: bool = False,
+        trace: bool = False,
     ) -> Dict[str, Any]:
         """POST one clustering job; returns the response envelope.
 
@@ -240,6 +256,13 @@ class ServeClient:
         a binary response envelope; the returned dict is identical either
         way.  A 415 from a server without the transport demotes this
         client to JSON permanently (transparent negotiation).
+
+        ``trace=True`` originates a distributed trace: the request
+        carries a fresh ``X-Repro-Trace-Id`` (the fleet router and the
+        replica continue it) plus the echo header, and the returned
+        envelope gains a ``trace`` block with every server-side span.
+        429 retries reuse the same trace id, so one logical job stays one
+        trace across admission retries.
         """
         use_binary = binary and self._server_accepts_binary is not False
         if use_binary:
@@ -251,6 +274,10 @@ class ServeClient:
         else:
             body = self.encode_cluster_body(matrix, config)
             headers = None
+        if trace:
+            headers = dict(headers or {"Content-Type": "application/json"})
+            headers[TRACE_ID_HEADER] = new_trace_id()
+            headers[TRACE_ECHO_HEADER] = "1"
         attempts = max(0, int(retries)) + 1
         for attempt in range(attempts):
             try:
@@ -268,6 +295,7 @@ class ServeClient:
                         retries=max(0, attempts - 1 - attempt),
                         retry_backoff=retry_backoff,
                         binary=False,
+                        trace=trace,
                     )
                 raise
         raise AssertionError("unreachable")  # pragma: no cover

@@ -43,11 +43,27 @@ from http import HTTPStatus
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import __version__
+from repro.obs.events import TraceEventLog
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    merge_metrics_documents,
+    render_prometheus,
+    wants_prometheus,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    PARENT_SPAN_HEADER,
+    TRACE_ID_HEADER,
+    Tracer,
+    new_trace_id,
+    valid_trace_id,
+)
 from repro.serve.fleet.ring import rendezvous_rank, request_affinity_key
 from repro.serve.fleet.supervisor import ReplicaInfo, ReplicaSupervisor
 from repro.serve.httpio import (
     HEADER_LIMIT,
     BadRequest,
+    BinaryBody,
     Request,
     http_fetch,
     read_request,
@@ -79,6 +95,15 @@ class FleetRouter:
     ready_timeout:
         Startup bound: how long :meth:`serve` waits for the full pool to
         become ready before failing.
+    trace_log:
+        Append one JSON line per closed router span to this file and
+        turn on router-originated tracing (see
+        :class:`~repro.serve.server.ClusteringServer`).  Point it at the
+        same file the replicas inherit and ``repro trace`` reconstructs
+        the whole router->replica waterfall from one log.
+    trace_sample:
+        Per-trace sampling rate for router-originated traces (client
+        trace ids are always continued).
     """
 
     def __init__(
@@ -91,6 +116,8 @@ class FleetRouter:
         failover_attempts: int = 2,
         no_replica_grace: float = 5.0,
         ready_timeout: float = 180.0,
+        trace_log: Optional[str] = None,
+        trace_sample: float = 1.0,
     ) -> None:
         if failover_attempts < 1:
             raise ValueError("failover_attempts must be at least 1")
@@ -112,6 +139,14 @@ class FleetRouter:
         self.failovers_total = 0
         self.proxy_errors_total = 0
         self.unrouted_total = 0
+        self.trace_log = trace_log
+        self.trace_sample = trace_sample
+        self.tracer = Tracer(sample_rate=trace_sample)
+        self._trace_enabled = trace_log is not None
+        self._event_log: Optional[TraceEventLog] = None
+        if trace_log is not None:
+            self._event_log = TraceEventLog(trace_log)
+            self.tracer.add_sink(self._event_log.record)
 
     # -- lifecycle (mirrors ClusteringServer) ------------------------------
 
@@ -249,6 +284,13 @@ class FleetRouter:
                 HTTPStatus.OK, self._healthz_payload(), head_only=request.method == "HEAD"
             )
         if path == "/metrics" and request.method in ("GET", "HEAD"):
+            if wants_prometheus(request.path, request.headers.get("accept")):
+                text = await self._prometheus_payload()
+                return self._render(
+                    HTTPStatus.OK,
+                    BinaryBody(text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE),
+                    head_only=request.method == "HEAD",
+                )
             payload = await self._metrics_payload()
             return self._render(HTTPStatus.OK, payload, head_only=request.method == "HEAD")
         if path == "/cluster":
@@ -323,6 +365,25 @@ class FleetRouter:
             "replicas": replicas,
         }
 
+    async def _prometheus_payload(self) -> str:
+        """The fleet-wide text exposition: replica documents merged
+        bucket-wise plus the router's own ``repro_fleet_*`` series."""
+        payload = await self._metrics_payload()
+        replica_docs = [
+            entry["metrics"]
+            for entry in payload["replicas"].values()
+            if entry.get("metrics")
+        ]
+        routed = {
+            replica_id: entry.get("routed_total", 0)
+            for replica_id, entry in payload["replicas"].items()
+        }
+        return render_prometheus(
+            merge_metrics_documents(replica_docs),
+            fleet=payload["fleet"],
+            routed_per_replica=routed,
+        )
+
     async def _scrape_replica(self, replica: ReplicaInfo) -> Optional[Dict[str, Any]]:
         try:
             status, payload = await http_fetch(
@@ -334,6 +395,23 @@ class FleetRouter:
 
     # -- data plane --------------------------------------------------------
 
+    def _proxy_span(self, request: Request) -> Any:
+        """The ``router.request`` root span, or :data:`NOOP_SPAN`.
+
+        Continues a client-carried trace id unconditionally; originates
+        one only when ``trace_log`` is set and the sampler accepts.
+        """
+        trace_id = valid_trace_id(request.headers.get(TRACE_ID_HEADER))
+        if trace_id is None:
+            if not self._trace_enabled or not self.tracer.should_sample():
+                return NOOP_SPAN
+            trace_id = new_trace_id()
+        return self.tracer.start_span(
+            "router.request",
+            trace_id=trace_id,
+            parent_id=valid_trace_id(request.headers.get(PARENT_SPAN_HEADER)),
+        )
+
     async def _proxy_cluster(self, request: Request) -> bytes:
         """Affinity-route one /cluster request with ring-order failover."""
         key = request_affinity_key(request.body, request.media_type)
@@ -341,40 +419,62 @@ class FleetRouter:
         grace_deadline = self._loop.time() + self.no_replica_grace
         tried: Set[str] = set()
         last_error: Optional[BaseException] = None
-        for _attempt in range(self.failover_attempts):
-            target = await self._pick_replica(key, tried, grace_deadline)
-            if target is None:
-                break
-            try:
-                status, raw = await asyncio.wait_for(
-                    self._exchange(target, request), self.proxy_timeout
+        with self._proxy_span(request) as root:
+            for _attempt in range(self.failover_attempts):
+                target = await self._pick_replica(key, tried, grace_deadline)
+                if target is None:
+                    break
+                attempt_span = root.child(
+                    "router.attempt", replica=target.replica_id, attempt=_attempt + 1
                 )
-            except (OSError, ConnectionError, asyncio.IncompleteReadError,
-                    asyncio.TimeoutError, ValueError) as error:
-                # Replica died mid-exchange (crash or restart): count the
-                # failover and move to the next ring node.  Safe to
-                # re-dispatch — see the module docstring.
-                tried.add(target.replica_id)
-                self.failovers_total += 1
-                last_error = error
-                continue
-            self.routed_total[target.replica_id] = (
-                self.routed_total.get(target.replica_id, 0) + 1
-            )
-            self.responses_total[status] = self.responses_total.get(status, 0) + 1
-            return raw
-        if last_error is None:
-            self.unrouted_total += 1
+                extra_headers = None
+                if attempt_span is not NOOP_SPAN:
+                    # Re-parent the hop under *this* attempt: the replica's
+                    # server.request span hangs off the attempt span, so a
+                    # failover renders as two sibling attempt subtrees —
+                    # the dead one error-flagged, the retry carrying the
+                    # replica's spans — under one trace id.
+                    extra_headers = {
+                        TRACE_ID_HEADER: root.trace_id,
+                        PARENT_SPAN_HEADER: attempt_span.span_id,
+                    }
+                try:
+                    with attempt_span:
+                        status, raw = await asyncio.wait_for(
+                            self._exchange(target, request, extra_headers),
+                            self.proxy_timeout,
+                        )
+                except (OSError, ConnectionError, asyncio.IncompleteReadError,
+                        asyncio.TimeoutError, ValueError) as error:
+                    # Replica died mid-exchange (crash or restart): count the
+                    # failover and move to the next ring node.  Safe to
+                    # re-dispatch — see the module docstring.  (The attempt
+                    # span's context-manager exit already error-flagged it.)
+                    tried.add(target.replica_id)
+                    self.failovers_total += 1
+                    last_error = error
+                    continue
+                self.routed_total[target.replica_id] = (
+                    self.routed_total.get(target.replica_id, 0) + 1
+                )
+                self.responses_total[status] = self.responses_total.get(status, 0) + 1
+                root.set_attribute("replica", target.replica_id)
+                root.set_attribute("status", status)
+                return raw
+            if last_error is None:
+                self.unrouted_total += 1
+                root.set_error("no ready replica")
+                return self._render(
+                    HTTPStatus.SERVICE_UNAVAILABLE,
+                    {"error": "no ready replica in the fleet; retry shortly"},
+                    {"Retry-After": "1"},
+                )
+            self.proxy_errors_total += 1
+            root.set_error(f"{type(last_error).__name__}: {last_error}")
             return self._render(
-                HTTPStatus.SERVICE_UNAVAILABLE,
-                {"error": "no ready replica in the fleet; retry shortly"},
-                {"Retry-After": "1"},
+                HTTPStatus.BAD_GATEWAY,
+                {"error": f"all routed replicas failed: {type(last_error).__name__}: {last_error}"},
             )
-        self.proxy_errors_total += 1
-        return self._render(
-            HTTPStatus.BAD_GATEWAY,
-            {"error": f"all routed replicas failed: {type(last_error).__name__}: {last_error}"},
-        )
 
     async def _pick_replica(
         self, key: str, tried: Set[str], grace_deadline: float
@@ -395,12 +495,19 @@ class FleetRouter:
                 return None
             await asyncio.sleep(0.05)
 
-    async def _exchange(self, replica: ReplicaInfo, request: Request) -> Tuple[int, bytes]:
+    async def _exchange(
+        self,
+        replica: ReplicaInfo,
+        request: Request,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
         """One full request/response exchange with a replica.
 
         The request body travels through unmodified; the response is
         captured raw (status line, headers, body) and forwarded to the
-        client byte-for-byte.
+        client byte-for-byte.  ``extra_headers`` (lowercase names)
+        override same-named client headers — the tracing hop rewrites
+        the parent-span header this way.
         """
         reader, writer = await asyncio.open_connection(
             self.host, replica.port, limit=HEADER_LIMIT
@@ -412,9 +519,12 @@ class FleetRouter:
                 f"content-length: {len(request.body)}",
                 "connection: close",
             ]
+            override = extra_headers or {}
             for name, value in request.headers.items():
-                if name not in _HOP_HEADERS:
+                if name not in _HOP_HEADERS and name not in override:
                     lines.append(f"{name}: {value}")
+            for name, value in override.items():
+                lines.append(f"{name}: {value}")
             writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
             writer.write(request.body)
             await writer.drain()
@@ -461,6 +571,8 @@ def build_fleet(
     proxy_timeout: float = 300.0,
     no_replica_grace: float = 5.0,
     ready_timeout: float = 180.0,
+    trace_log: Optional[str] = None,
+    trace_sample: float = 1.0,
 ) -> FleetRouter:
     """A :class:`FleetRouter` wired to a fresh :class:`ReplicaSupervisor`.
 
@@ -485,4 +597,6 @@ def build_fleet(
         proxy_timeout=proxy_timeout,
         no_replica_grace=no_replica_grace,
         ready_timeout=ready_timeout,
+        trace_log=trace_log,
+        trace_sample=trace_sample,
     )

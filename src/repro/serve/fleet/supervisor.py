@@ -92,6 +92,9 @@ class ReplicaSupervisor:
         Extra ``repro serve`` CLI arguments appended to every replica's
         command line (config flags, batching knobs, ``--cache-dir`` for
         the shared disk tier).  ``--host``/``--port`` are supervisor-owned.
+        The literal ``{replica_id}`` in any element is replaced with the
+        replica's id (``replica-0``, ...), letting file-valued flags such
+        as ``--trace-log`` fan out to per-replica paths.
     host:
         Loopback address replicas bind on.
     stagger_seconds / backoff_base_seconds / backoff_cap_seconds:
@@ -207,7 +210,11 @@ class ReplicaSupervisor:
 
     # -- internals ---------------------------------------------------------
 
-    def _replica_command(self) -> List[str]:
+    def _replica_command(self, slot: _ReplicaSlot) -> List[str]:
+        # The literal placeholder ``{replica_id}`` in any replica_argv
+        # element is substituted with the slot's id, so per-replica file
+        # arguments (e.g. ``--trace-log traces-{replica_id}.jsonl``) fan
+        # out without colliding.
         return [
             sys.executable,
             "-m",
@@ -217,7 +224,7 @@ class ReplicaSupervisor:
             self.host,
             "--port",
             "0",
-            *self.replica_argv,
+            *[arg.replace("{replica_id}", slot.replica_id) for arg in self.replica_argv],
         ]
 
     def _replica_env(self) -> Dict[str, str]:
@@ -259,7 +266,7 @@ class ReplicaSupervisor:
         slot.log_tail.clear()
         try:
             slot.process = await asyncio.create_subprocess_exec(
-                *self._replica_command(),
+                *self._replica_command(slot),
                 stdout=asyncio.subprocess.PIPE,
                 stderr=asyncio.subprocess.STDOUT,
                 env=self._replica_env(),

@@ -87,6 +87,10 @@ class LatencyHistogram:
 
     def as_dict(self) -> Dict[str, Any]:
         mean = self.sum_ms / self.total if self.total else 0.0
+        # Raw bucket state rides along with the derived quantiles so a
+        # fleet aggregator can merge replica histograms exactly
+        # bucket-wise (obs.prometheus.merge_histogram_dicts) instead of
+        # approximating fleet quantiles from per-replica quantiles.
         return {
             "count": self.total,
             "mean_ms": round(mean, 3),
@@ -94,6 +98,9 @@ class LatencyHistogram:
             "p95_ms": round(self.quantile(0.95), 3),
             "p99_ms": round(self.quantile(0.99), 3),
             "max_ms": round(self.max_ms, 3),
+            "sum_ms": round(self.sum_ms, 6),
+            "bucket_bounds_ms": list(self.bounds_ms),
+            "bucket_counts": list(self.counts),
         }
 
 
@@ -111,6 +118,7 @@ class ServerMetrics:
         self.request_latency = LatencyHistogram()
         self.queue_latency = LatencyHistogram()
         self.fit_latency = LatencyHistogram()
+        self.span_latency: Dict[str, LatencyHistogram] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -132,6 +140,21 @@ class ServerMetrics:
         with self._lock:
             self.queue_latency.observe(queue_seconds)
             self.fit_latency.observe(fit_seconds)
+
+    #: span_latency never grows past this many kinds: the taxonomy is
+    #: small and fixed, so hitting the cap means a bug (or a hostile
+    #: header) is minting kinds — drop rather than let /metrics balloon.
+    MAX_SPAN_KINDS = 64
+
+    def record_span(self, kind: str, seconds: float) -> None:
+        """Tracer sink: one duration observation per closed span."""
+        with self._lock:
+            histogram = self.span_latency.get(kind)
+            if histogram is None:
+                if len(self.span_latency) >= self.MAX_SPAN_KINDS:
+                    return
+                histogram = self.span_latency[kind] = LatencyHistogram()
+            histogram.observe(seconds)
 
     # -- rendering ---------------------------------------------------------
 
@@ -179,6 +202,10 @@ class ServerMetrics:
                     "request": self.request_latency.as_dict(),
                     "queue_wait": self.queue_latency.as_dict(),
                     "batch_fit": self.fit_latency.as_dict(),
+                },
+                "spans": {
+                    kind: histogram.as_dict()
+                    for kind, histogram in sorted(self.span_latency.items())
                 },
             }
         served = requests.get("POST /cluster", 0)

@@ -41,6 +41,7 @@ admitted request is fitted and answered, then the pool is torn down.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import math
 import signal
@@ -68,6 +69,22 @@ from repro.serve.httpio import (
     Request as _Request,
     read_request,
     render_response,
+)
+from repro.obs.events import TraceEventLog
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    wants_prometheus,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    PARENT_SPAN_HEADER,
+    TRACE_ECHO_HEADER,
+    TRACE_ID_HEADER,
+    Span,
+    Tracer,
+    new_trace_id,
+    valid_trace_id,
 )
 from repro.serve.metrics import ServerMetrics
 from repro.serve.wire import WIRE_CONTENT_TYPE, WireFormatError, decode_request, encode_envelope
@@ -138,6 +155,20 @@ class ClusteringServer:
         ``application/x-repro-matrix`` binary transport (default on).
         ``binary=False`` turns binary bodies into HTTP 415, for operators
         who want a JSON-only surface.
+    trace_log:
+        Append one JSON line per closed span to this file (the
+        ``--trace-log`` flag).  Setting it also turns on server-initiated
+        tracing: requests without an ``X-Repro-Trace-Id`` header are
+        traced at ``trace_sample``.  Client-carried trace ids are always
+        honoured, log or no log.
+    trace_sample:
+        Fraction of server-initiated traces to record when ``trace_log``
+        is set (default 1.0).  Sampling is per trace, not per span, so a
+        sampled request's waterfall is always complete.
+    tracer:
+        Inject a preconfigured :class:`~repro.obs.tracer.Tracer`
+        (tests; embedding).  When given, its sinks are kept and the
+        ``trace_log``/``trace_sample`` knobs only add to it.
     """
 
     def __init__(
@@ -151,6 +182,9 @@ class ClusteringServer:
         max_queue_depth: int = 256,
         fit_workers: int = 2,
         binary: bool = True,
+        trace_log: Optional[str] = None,
+        trace_sample: float = 1.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if fit_workers < 1:
             raise ValueError("fit_workers must be at least 1")
@@ -168,6 +202,18 @@ class ClusteringServer:
         self.fit_workers = fit_workers
         self.binary = binary
         self.metrics = ServerMetrics()
+        self.trace_log = trace_log
+        self.trace_sample = trace_sample
+        # An injected tracer (tests/embedding) keeps its sinks; otherwise
+        # a private one is built.  Either way the per-span-kind metrics
+        # sink is attached, and the event log when --trace-log asks.
+        self.tracer = tracer if tracer is not None else Tracer(sample_rate=trace_sample)
+        self._trace_enabled = trace_log is not None or tracer is not None
+        self._event_log: Optional[TraceEventLog] = None
+        if trace_log is not None:
+            self._event_log = TraceEventLog(trace_log)
+            self.tracer.add_sink(self._event_log.record)
+        self.tracer.add_sink(self._record_span_metric)
         self._batcher: Optional[MicroBatcher] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -268,9 +314,17 @@ class ClusteringServer:
         self, config: ClusteringConfig, matrices: List[np.ndarray]
     ) -> List[Any]:
         assert self._loop is not None and self._executor is not None
+        # Snapshot this task's contextvars (including the batcher's live
+        # serve.batch_fit span) and run the fit inside the copy, so the
+        # cluster_many -> cache -> kernel spans opened on the executor
+        # thread attach to the request trace without any plumbing.
+        context = contextvars.copy_context()
         return await self._loop.run_in_executor(
-            self._executor, lambda: cluster_many(matrices, config)
+            self._executor, lambda: context.run(cluster_many, matrices, config)
         )
+
+    def _record_span_metric(self, span: Span) -> None:
+        self.metrics.record_span(span.kind, span.duration_seconds)
 
     # -- HTTP plumbing -----------------------------------------------------
 
@@ -341,6 +395,13 @@ class ClusteringServer:
         if path == "/healthz" and request.method in ("GET", "HEAD"):
             return HTTPStatus.OK, self._healthz_payload(), None
         if path == "/metrics" and request.method in ("GET", "HEAD"):
+            if wants_prometheus(request.path, request.headers.get("accept")):
+                text = render_prometheus(self._metrics_payload())
+                return (
+                    HTTPStatus.OK,
+                    BinaryBody(text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE),
+                    None,
+                )
             return HTTPStatus.OK, self._metrics_payload(), None
         if path == "/cluster":
             if request.method != "POST":
@@ -378,6 +439,26 @@ class ClusteringServer:
             version=__version__,
         )
 
+    def _request_span(self, request: _Request) -> Any:
+        """The root ``server.request`` span, or :data:`NOOP_SPAN`.
+
+        A client-carried ``X-Repro-Trace-Id`` always continues that trace
+        (the caller is already paying for it upstream); without one the
+        server originates a trace only when an event log is configured
+        and the per-trace sampler accepts, so the default-off path
+        allocates nothing.
+        """
+        trace_id = valid_trace_id(request.headers.get(TRACE_ID_HEADER))
+        if trace_id is None:
+            if not self._trace_enabled or not self.tracer.should_sample():
+                return NOOP_SPAN
+            trace_id = new_trace_id()
+        return self.tracer.start_span(
+            "server.request",
+            trace_id=trace_id,
+            parent_id=valid_trace_id(request.headers.get(PARENT_SPAN_HEADER)),
+        )
+
     async def _handle_cluster(
         self, request: _Request
     ) -> Tuple[HTTPStatus, Any, Optional[Dict[str, str]]]:
@@ -388,6 +469,36 @@ class ClusteringServer:
             return HTTPStatus.UNSUPPORTED_MEDIA_TYPE, {"error": str(error)}, None
         except _BadRequest as error:
             return HTTPStatus.BAD_REQUEST, {"error": str(error)}, None
+        span = self._request_span(request)
+        echo = span is not NOOP_SPAN and request.headers.get(TRACE_ECHO_HEADER) == "1"
+        if echo:
+            self.tracer.collect(span.trace_id)
+        try:
+            with span:
+                span.set_attribute("n", int(matrix.shape[0]))
+                status, payload, headers = await self._cluster_response(
+                    request, matrix, config, span, echo
+                )
+                if span is not NOOP_SPAN:
+                    span.set_attribute("status", int(status))
+                    if int(status) >= 500:
+                        span.set_error()
+                return status, payload, headers
+        finally:
+            # drain() in the success path empties the collector; this
+            # covers every error path so unechoed buffers never pile up.
+            if echo:
+                self.tracer.discard(span.trace_id)
+
+    async def _cluster_response(
+        self,
+        request: _Request,
+        matrix: np.ndarray,
+        config: ClusteringConfig,
+        span: Any,
+        echo: bool,
+    ) -> Tuple[HTTPStatus, Any, Optional[Dict[str, str]]]:
+        assert self._batcher is not None
         try:
             future = self._batcher.submit(matrix, config)
         except QueueFull as error:
@@ -432,6 +543,16 @@ class ClusteringServer:
                 "fit_seconds": round(info["fit_seconds"], 6),
             },
         }
+        if echo:
+            # The opt-in trace block: every span of this trace that has
+            # already closed (queue, batch fit, cache, kernel...).  The
+            # request span itself is still open, so its ids ride along
+            # for the client to stitch the tree.
+            envelope["trace"] = {
+                "trace_id": span.trace_id,
+                "root_span_id": span.span_id,
+                "spans": self.tracer.drain(span.trace_id),
+            }
         if self.binary and _accepts_binary(request):
             # Same envelope, lifted into a wire frame: the labels travel as
             # a raw int64 buffer, everything else in the frame header, and

@@ -54,6 +54,7 @@ class TestRulePack:
             "config-fingerprint",
             "hot-path-copy",
             "lock-across-await",
+            "span-unclosed",
             "swallowed-exception",
         )
         assert [rule.id for rule in default_rules()] == list(available_rules())
@@ -317,6 +318,98 @@ class TestSwallowedException:
             rules=["swallowed-exception"],
         )
         assert result.ok and len(result.suppressed) == 1
+
+
+class TestSpanUnclosed:
+    def test_assigned_span_never_closed_is_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """\
+            def leak(tracer):
+                span = tracer.start_span("work")
+                span.set_attribute("k", 1)
+            """,
+            rules=["span-unclosed"],
+        )
+        assert [f.rule for f in result.reported] == ["span-unclosed"]
+        assert "'span'" in result.reported[0].message
+
+    def test_bare_expression_and_argument_position_are_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """\
+            def fire_and_forget(tracer, registry):
+                tracer.start_span("a")
+                registry.append(tracer.start_span("b"))
+            """,
+            rules=["span-unclosed"],
+        )
+        assert len(result.reported) == 2
+
+    def test_cross_function_handoff_is_flagged(self, tmp_path):
+        # The rule tracks one function at a time: a span assigned here but
+        # ended elsewhere must be spelled as a return or pragma'd.
+        result = lint_source(
+            tmp_path,
+            """\
+            def start(tracer, box):
+                box.span = tracer.start_span("work")
+
+            def finish(box):
+                box.span.end()
+            """,
+            rules=["span-unclosed"],
+        )
+        assert len(result.reported) == 1
+
+    def test_pragma_suppresses(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """\
+            def handoff(tracer, registry):
+                registry.append(tracer.start_span("a"))  # repro: allow[span-unclosed]
+            """,
+            rules=["span-unclosed"],
+        )
+        assert result.ok
+        assert len(result.suppressed) == 1
+
+    def test_closed_spellings_pass(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """\
+            def context_manager(tracer):
+                with tracer.start_span("a"):
+                    pass
+
+            async def async_context_manager(tracer):
+                async with tracer.start_span("b"):
+                    pass
+
+            def explicit_end(tracer):
+                span = tracer.start_span("c")
+                try:
+                    pass
+                finally:
+                    span.end()
+
+            def returned_directly(tracer):
+                return tracer.start_span("d")
+
+            def returned_by_name(tracer):
+                span = tracer.start_span("e")
+                span.set_attribute("k", 1)
+                return span
+
+            def entered_by_name(tracer):
+                span = tracer.start_span("f")
+                with span:
+                    pass
+            """,
+            rules=["span-unclosed"],
+        )
+        assert result.ok
+        assert not result.reported
 
 
 COHERENT_CONFIG = """\
@@ -598,6 +691,11 @@ class TestLintCli:
             ),
             "config-fingerprint": (
                 COHERENT_CONFIG + "    unwired: int = 3\n"
+            ),
+            "span-unclosed": (
+                "def leak(tracer):\n"
+                "    span = tracer.start_span('work')\n"
+                "    span.set_attribute('k', 1)\n"
             ),
         }
         relpath = "serve/wire.py" if rule == "hot-path-copy" else "fixture.py"

@@ -227,11 +227,24 @@ class TestLatencyHistogram:
         assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
 
     def test_empty_histogram_is_all_zero(self):
-        summary = LatencyHistogram().as_dict()
+        histogram = LatencyHistogram()
+        summary = histogram.as_dict()
         assert summary == {
             "count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
             "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0,
+            "sum_ms": 0.0,
+            "bucket_bounds_ms": list(histogram.bounds_ms),
+            "bucket_counts": [0] * (len(histogram.bounds_ms) + 1),
         }
+
+    def test_raw_buckets_support_exact_merging(self):
+        histogram = LatencyHistogram(bounds_ms=[10.0, 100.0])
+        histogram.observe(0.005)
+        histogram.observe(0.05)
+        histogram.observe(0.5)  # overflow bucket
+        summary = histogram.as_dict()
+        assert summary["bucket_counts"] == [1, 1, 1]
+        assert summary["sum_ms"] == pytest.approx(555.0)
 
     def test_bounds_must_increase(self):
         with pytest.raises(ValueError):

@@ -386,10 +386,20 @@ class TestSupervisorUnit:
 
     def test_replica_command_pins_host_and_ephemeral_port(self):
         supervisor = ReplicaSupervisor(1, ["--clusters", "3"])
-        command = supervisor._replica_command()
+        command = supervisor._replica_command(supervisor._slots[0])
         assert command[1:5] == ["-m", "repro", "serve", "--host"]
         assert "--port" in command and command[command.index("--port") + 1] == "0"
         assert command[-2:] == ["--clusters", "3"]
+
+    def test_replica_command_substitutes_replica_id_placeholder(self):
+        supervisor = ReplicaSupervisor(
+            2, ["--trace-log", "traces-{replica_id}.jsonl"]
+        )
+        commands = [
+            supervisor._replica_command(slot) for slot in supervisor._slots
+        ]
+        assert commands[0][-1] == "traces-replica-0.jsonl"
+        assert commands[1][-1] == "traces-replica-1.jsonl"
 
     def test_crash_looping_replica_backs_off(self):
         async def scenario():
